@@ -1,0 +1,96 @@
+"""Benchmark fixtures: one simulation per scenario, shared session-wide.
+
+Each bench measures the *analysis* computation (the part a user reruns
+while exploring data) and prints/saves the artifact with the paper's
+numbers alongside ours.  Simulation construction is deliberately outside
+the timed region — it is the workload generator, not the measurement.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import Simulation
+from repro.core.scenarios import (
+    attribution_study,
+    contact_lift_study,
+    decoy_study,
+    exploitation_study,
+    phishing_traffic_study,
+    recovery_study,
+    retention_study,
+    taxonomy_study,
+)
+from repro.hijacker.groups import Era
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Print the artifact and persist it under benchmarks/out/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def traffic_result():
+    """Figures 3–6 and Table 2 workload."""
+    return Simulation(phishing_traffic_study(seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def decoy_result():
+    """Figure 7 workload (~200 decoys)."""
+    return Simulation(decoy_study(seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def exploitation_result():
+    """Sections 5.2–5.3, Figure 8, Tables 1/3, attribution workload."""
+    return Simulation(exploitation_study(seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def recovery_result():
+    """Figures 9–10 workload (hundreds of claims)."""
+    return Simulation(recovery_study(seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def attribution_result():
+    """Figures 11–12 workload (era 2012, all crews active)."""
+    return Simulation(attribution_study(seed=11)).run()
+
+
+@pytest.fixture(scope="session")
+def contact_lift_worlds():
+    """Dataset 9 workload: three independent large, low-intensity worlds
+    (the per-world hijack counts are single digits; only the pooled
+    ratio is stable)."""
+    results = []
+    for seed in (7, 11, 23):
+        config = contact_lift_study(seed).with_overrides(
+            horizon_days=35, n_users=18_000, campaigns_per_week=10)
+        results.append(Simulation(config).run())
+    return results
+
+
+@pytest.fixture(scope="session")
+def era_pair():
+    """(Oct-2011-like, Nov-2012-like) results for Section 5.4."""
+    overrides = dict(horizon_days=21, n_users=5_000, campaigns_per_week=18)
+    early = Simulation(
+        retention_study(Era.Y2011, seed=7).with_overrides(**overrides)).run()
+    late = Simulation(
+        retention_study(Era.Y2012, seed=7).with_overrides(**overrides)).run()
+    return early, late
+
+
+@pytest.fixture(scope="session")
+def taxonomy_result():
+    """Figure 1 workload: manual crews + automated botnet baseline."""
+    return Simulation(taxonomy_study(seed=5)).run()

@@ -1,0 +1,126 @@
+"""One incident, narrated: the manual hijacker's playbook in action.
+
+Walks a single credential end-to-end through the Section 5 lifecycle —
+pickup, blend-in IP choice, login (with trivial-variant retries),
+the ~3-minute value assessment (real searches against a real mailbox),
+the contact scam/phish blast (with the actual scam text), retention
+tactics (lockout, doppelganger, filters), and finally the victim's
+recovery — printing what happens at every step.
+
+Run:  python examples/hijacker_playbook.py
+"""
+
+from repro import Simulation, SimulationConfig
+from repro.hijacker.incident import IncidentOutcome
+from repro.logs.events import (
+    Actor,
+    LoginEvent,
+    NotificationEvent,
+    RecoveryClaimEvent,
+    SearchEvent,
+)
+from repro.util.clock import format_duration, format_time
+
+
+def main() -> None:
+    config = SimulationConfig(
+        seed=11,
+        horizon_days=14,
+        n_users=2_500,
+        campaigns_per_week=20,
+        campaign_target_count=500,
+        provider_target_fraction=0.5,
+        n_decoys=0,
+    )
+    result = Simulation(config).run()
+
+    # Pick a fully exploited incident to narrate.
+    exploited = [r for r in result.incidents
+                 if r.outcome is IncidentOutcome.EXPLOITED
+                 and r.retention is not None]
+    if not exploited:
+        raise SystemExit("no exploited incident this seed; try another")
+    report = max(exploited,
+                 key=lambda r: r.exploitation.messages_sent)
+    account = result.population.accounts[report.account_id]
+    crew = next(s.crew for s in result.crew_states
+                if s.crew.name == report.crew_name)
+
+    print(f"victim:   {account.address} ({account.owner.name}, "
+          f"{account.owner.country})")
+    print(f"crew:     {crew.name} ({crew.country}, speaks {crew.language})")
+    print(f"captured: {format_time(report.credential.captured_at)} via "
+          f"page {report.credential.source_page_id}")
+    wait = report.pickup_at - report.credential.captured_at
+    print(f"pickup:   {format_time(report.pickup_at)} "
+          f"({format_duration(wait)} after capture)\n")
+
+    logins = result.store.query(
+        LoginEvent,
+        where=lambda e: (e.account_id == account.account_id
+                         and e.actor is Actor.MANUAL_HIJACKER))
+    print(f"login attempts: {report.login_attempts} "
+          f"(first from {logins[0].ip}, "
+          f"{result.geoip.lookup(logins[0].ip)})")
+
+    assessment = report.assessment
+    print(f"\nvalue assessment ({assessment.duration_minutes} min):")
+    for query in assessment.queries:
+        print(f"  searched: {query!r}")
+    for folder in assessment.folders_opened:
+        print(f"  opened folder: {folder.value}")
+    print(f"  found financial material: {assessment.found_financial}")
+    print(f"  correspondents worth scamming: {assessment.contact_count}")
+
+    exploitation = report.exploitation
+    print(f"\nexploitation ({exploitation.duration_minutes} min):")
+    print(f"  {exploitation.scam_messages} scam + "
+          f"{exploitation.phishing_messages} phishing messages to "
+          f"{exploitation.distinct_recipients} distinct recipients")
+    print(f"  fresh credentials phished from contacts: "
+          f"{len(exploitation.new_credentials)}")
+    if exploitation.payments:
+        total = sum(p.amount for p in exploitation.payments)
+        print(f"  contacts wired money: {len(exploitation.payments)} "
+              f"payments, ${total}")
+
+    # Show one scam the crew would send for this victim.
+    scam = next(
+        s for s in result.crew_states
+        if s.crew.name == crew.name).driver.exploitation.scam_generator \
+        .generate(account.owner.name, account.owner.country)
+    print(f"\nsample scam ({scam.scheme_name}, ${scam.amount}):")
+    print(f"  subject: {scam.subject}")
+    print(f"  {scam.body[:240]}...")
+
+    retention = report.retention
+    print("\nretention tactics:")
+    print(f"  password changed (lockout): {retention.changed_password}")
+    print(f"  recovery options changed:   {retention.changed_recovery}")
+    print(f"  forwarding/hiding filter:   {retention.installed_filter}")
+    print(f"  forged Reply-To:            {retention.set_reply_to}")
+    if retention.doppelganger:
+        print(f"  doppelganger account:       "
+              f"{retention.doppelganger.address} "
+              f"({retention.doppelganger.style})")
+    print(f"  2FA phone lockout:          {retention.enabled_two_factor}")
+
+    notifications = result.store.query(
+        NotificationEvent,
+        where=lambda e: e.account_id == account.account_id)
+    claims = result.store.query(
+        RecoveryClaimEvent,
+        where=lambda e: e.account_id == account.account_id)
+    print("\nremediation:")
+    print(f"  notifications sent: "
+          f"{[n.channel for n in notifications]}")
+    for claim in claims:
+        verdict = "recovered" if claim.succeeded else "failed"
+        print(f"  claim via {claim.method} at {format_time(claim.timestamp)}"
+              f": {verdict}")
+    if not claims:
+        print("  victim never filed a claim in the window")
+
+
+if __name__ == "__main__":
+    main()

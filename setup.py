@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package that PEP 660
+editable installs require, so ``pip install -e .`` falls back to the
+legacy ``setup.py develop`` path (``--no-use-pep517``) through this
+shim.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of *Handcrafted Fraud and Extortion: Manual Account
+Hijacking in the Wild* (Bursztein et al., IMC 2014).
+
+The paper is a measurement study over Google's proprietary authentication,
+mail, and abuse logs.  This package substitutes those logs with a synthetic
+world simulator (:mod:`repro.core`) whose adversaries — organized manual
+hijacking crews — are behavior models calibrated to the paper's published
+observations, and re-derives every table and figure with measurement
+tooling (:mod:`repro.analysis`) that only reads log records.
+
+Quickstart::
+
+    from repro import Simulation, SimulationConfig
+
+    sim = Simulation(SimulationConfig(seed=7, n_users=20_000))
+    result = sim.run()
+    print(result.summary())
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation, SimulationResult
+
+__all__ = ["Simulation", "SimulationConfig", "SimulationResult"]
+
+__version__ = "1.0.0"

@@ -1,0 +1,60 @@
+"""Measurement tooling: one module per table/figure of the paper, plus
+the section-level analyses (exploitation, contacts, retention, defense).
+
+Every analysis is a function of the log store and the curated datasets —
+the same shape as the authors' map-reduce pipelines — and returns plain
+data plus an ASCII rendering, so benches can print the rows the paper
+reports and tests can assert on the numbers.
+"""
+
+from repro.analysis import (  # noqa: F401
+    contacts,
+    curation,
+    defense,
+    exploitation,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    report,
+    retention,
+    revenue,
+    table1,
+    table2,
+    table3,
+    workweek,
+)
+
+__all__ = [
+    "curation",
+    "table1",
+    "table2",
+    "table3",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "exploitation",
+    "contacts",
+    "retention",
+    "defense",
+    "workweek",
+    "revenue",
+    "report",
+]

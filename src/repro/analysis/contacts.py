@@ -1,0 +1,252 @@
+"""Section 5.3 — exploiting the victim's contacts.
+
+Three measurements:
+
+* **Hijack-day deltas** — outgoing volume only ~25% above the previous
+  day, but distinct recipients ~630% above, and spam/phishing reports on
+  the day's traffic ~39% above: few messages, huge fan-out.
+* **The 35/65 split** — manual review of reported messages sent from
+  hijacked accounts: ~35% phishing, ~65% scams.
+* **The 36× contact lift** — contacts of victims are hijacked at ~36×
+  the rate of random active users over the following window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.curation import hijack_windows, hijacker_logins, review_message
+from repro.core.datasets import DatasetCatalog
+from repro.core.simulation import SimulationResult
+from repro.logs.events import MailReportedEvent, MailSentEvent
+from repro.util.clock import DAY
+
+
+@dataclass(frozen=True)
+class HijackDayDeltas:
+    """Hijack-day vs. previous-day ratios (1.0 = unchanged)."""
+
+    n_accounts: int
+    volume_ratio: Optional[float]
+    distinct_recipient_ratio: Optional[float]
+    report_ratio: Optional[float]
+
+
+@dataclass(frozen=True)
+class ContactLift:
+    """Cohort hijack incidence and their ratio."""
+
+    contact_cohort_size: int
+    random_cohort_size: int
+    contact_hijacked: int
+    random_hijacked: int
+
+    @property
+    def contact_rate(self) -> float:
+        return (self.contact_hijacked / self.contact_cohort_size
+                if self.contact_cohort_size else 0.0)
+
+    @property
+    def random_rate(self) -> float:
+        return (self.random_hijacked / self.random_cohort_size
+                if self.random_cohort_size else 0.0)
+
+    @property
+    def lift(self) -> Optional[float]:
+        if self.random_rate == 0:
+            return None
+        return self.contact_rate / self.random_rate
+
+
+def hijack_day_deltas(result: SimulationResult,
+                      sample: int = 575) -> HijackDayDeltas:
+    """Volume / recipient / report ratios, averaged over hijacked accounts."""
+    catalog = DatasetCatalog(result)
+    accounts = catalog.d7_hijacked_accounts(sample=sample)
+    windows = hijack_windows(result.store,
+                             [a.account_id for a in accounts])
+
+    sent = result.store.query(MailSentEvent)
+    sent_by_account: Dict[str, List[MailSentEvent]] = {}
+    for event in sent:
+        sent_by_account.setdefault(event.account_id, []).append(event)
+
+    reports = result.store.query(MailReportedEvent)
+    reported_message_ids = {r.message_id for r in reports}
+
+    volume_day = volume_prev = 0
+    recipients_day_total = recipients_prev_total = 0
+    reports_day = reports_prev = 0
+    counted = 0
+    for account in accounts:
+        window = windows.get(account.account_id)
+        if window is None:
+            continue
+        day_start = (window[0] // DAY) * DAY
+        if day_start < DAY:
+            continue  # no previous day to compare against
+        counted += 1
+        recipients_day: set = set()
+        recipients_prev: set = set()
+        for event in sent_by_account.get(account.account_id, ()):
+            if day_start <= event.timestamp < day_start + DAY:
+                volume_day += 1
+                recipients_day.update(event.distinct_recipients)
+                if event.message_id in reported_message_ids:
+                    reports_day += 1
+            elif day_start - DAY <= event.timestamp < day_start:
+                volume_prev += 1
+                recipients_prev.update(event.distinct_recipients)
+                if event.message_id in reported_message_ids:
+                    reports_prev += 1
+        recipients_day_total += len(recipients_day)
+        recipients_prev_total += len(recipients_prev)
+
+    def ratio(day: float, prev: float) -> Optional[float]:
+        return day / prev if prev else None
+
+    return HijackDayDeltas(
+        n_accounts=counted,
+        volume_ratio=ratio(volume_day, volume_prev),
+        distinct_recipient_ratio=ratio(
+            recipients_day_total, recipients_prev_total),
+        report_ratio=ratio(reports_day, reports_prev),
+    )
+
+
+def scam_phishing_split(result: SimulationResult,
+                        sample: int = 200) -> Dict[str, float]:
+    """The manual review of Dataset 8: category → share."""
+    messages = DatasetCatalog(result).d8_reported_hijack_mail(sample=sample)
+    if not messages:
+        return {}
+    counts: Dict[str, int] = {}
+    for message in messages:
+        category = review_message(message)
+        counts[category.value] = counts.get(category.value, 0) + 1
+    total = len(messages)
+    return {category: count / total for category, count in sorted(counts.items())}
+
+
+def contact_lift(result: SimulationResult, cohort_size: int = 3000,
+                 seed_window_days: Optional[int] = None,
+                 follow_up_days: int = 60) -> ContactLift:
+    """Dataset 9's experiment.
+
+    The paper sampled contacts of hijacked accounts and counted manual
+    hijackings among them "over the next 60 days", against a random
+    active-user sample over the same period.  Sampling is anchored per
+    victim: each contact's observation window starts when their friend's
+    account was hijacked (that is when the hijacker obtains their
+    address), and the random cohort is observed over matched windows.
+    """
+    if seed_window_days is None:
+        seed_window_days = result.config.horizon_days // 2
+    population = result.population
+
+    # Victim exposure times: first hijacker login per exploited account
+    # within the seed window.
+    logins = hijacker_logins(result.store)
+    first_hijack_login: Dict[str, int] = {}
+    for login in logins:
+        first_hijack_login.setdefault(login.account_id, login.timestamp)
+    exploited_early = {
+        report.account_id
+        for report in result.incidents
+        if report.exploitation is not None
+        and report.account_id is not None
+        and report.pickup_at < seed_window_days * DAY
+    }
+
+    # Contact cohort: (account, exposure time), earliest exposure wins.
+    exposure: Dict[str, int] = {}
+    for victim_id in sorted(exploited_early):
+        victim_account = population.accounts[victim_id]
+        exposed_at = first_hijack_login.get(victim_id)
+        if exposed_at is None:
+            continue
+        for contact in population.contacts_of_account(victim_account):
+            if contact.account_id in exploited_early:
+                continue
+            previous = exposure.get(contact.account_id)
+            if previous is None or exposed_at < previous:
+                exposure[contact.account_id] = exposed_at
+
+    window = follow_up_days * DAY
+    contact_items = sorted(exposure.items())
+    if len(contact_items) > cohort_size:
+        import random as _random
+
+        from repro.util.rng import child_seed
+
+        rng = _random.Random(child_seed(result.config.seed, "contact-lift"))
+        contact_items = rng.sample(contact_items, cohort_size)
+    contact_hits = sum(
+        1 for account_id, exposed_at in contact_items
+        if exposed_at
+        < first_hijack_login.get(account_id, -1) <= exposed_at + window
+    )
+
+    # Random cohort: active users observed over matched windows.
+    catalog = DatasetCatalog(result)
+    _, random_cohort = catalog.d9_cohorts(
+        cohort_size=cohort_size, seed_window_days=seed_window_days)
+    exposure_times = sorted(at for _, at in contact_items) or [0]
+    random_hits = 0
+    for index, account in enumerate(random_cohort):
+        matched_at = exposure_times[index % len(exposure_times)]
+        hijacked_at = first_hijack_login.get(account.account_id)
+        if hijacked_at is not None and matched_at < hijacked_at <= matched_at + window:
+            random_hits += 1
+    return ContactLift(
+        contact_cohort_size=len(contact_items),
+        random_cohort_size=len(random_cohort),
+        contact_hijacked=contact_hits,
+        random_hijacked=random_hits,
+    )
+
+
+def pooled_contact_lift(results, cohort_size: int = 3000,
+                        follow_up_days: int = 60) -> ContactLift:
+    """Pool the Dataset 9 experiment over several independent worlds.
+
+    A single world of our size yields single-digit hijack counts in the
+    contact cohort, so the point estimate swings wildly; pooling the
+    cohorts — which the paper's 10⁹-user scale did implicitly — gives a
+    stable ratio.
+    """
+    totals = dict(contact_cohort_size=0, random_cohort_size=0,
+                  contact_hijacked=0, random_hijacked=0)
+    for result in results:
+        lift = contact_lift(result, cohort_size=cohort_size,
+                            follow_up_days=follow_up_days)
+        totals["contact_cohort_size"] += lift.contact_cohort_size
+        totals["random_cohort_size"] += lift.random_cohort_size
+        totals["contact_hijacked"] += lift.contact_hijacked
+        totals["random_hijacked"] += lift.random_hijacked
+    return ContactLift(**totals)
+
+
+def render(deltas: HijackDayDeltas, split: Dict[str, float],
+           lift: ContactLift) -> str:
+    def pct_change(ratio: Optional[float]) -> str:
+        return "n/a" if ratio is None else f"{(ratio - 1) * 100:+.0f}%"
+
+    lines = [
+        "Section 5.3: contact exploitation",
+        f"  hijack-day vs previous-day (n={deltas.n_accounts} accounts):",
+        f"    outgoing volume:     {pct_change(deltas.volume_ratio)}",
+        f"    distinct recipients: {pct_change(deltas.distinct_recipient_ratio)}",
+        f"    spam/phish reports:  {pct_change(deltas.report_ratio)}",
+        "  reported-mail review (Dataset 8): "
+        + ", ".join(f"{k} {v:.0%}" for k, v in split.items()),
+        f"  contact cohort hijack rate:  {lift.contact_rate:.2%} "
+        f"({lift.contact_hijacked}/{lift.contact_cohort_size})",
+        f"  random  cohort hijack rate:  {lift.random_rate:.2%} "
+        f"({lift.random_hijacked}/{lift.random_cohort_size})",
+        "  contact lift: "
+        + ("n/a (no random-cohort hijacks)" if lift.lift is None
+           else f"{lift.lift:.0f}x"),
+    ]
+    return "\n".join(lines)

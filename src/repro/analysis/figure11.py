@@ -1,0 +1,48 @@
+"""Figure 11 — countries of the IPs involved in hijacking cases.
+
+Geolocation of the addresses behind a random sample of hijack cases
+(Dataset 13).  Paper: China and Malaysia dominate, with Ivory Coast,
+Nigeria, South Africa, and Venezuela visible; South Africa holds ~10% of
+both this and the phone dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.attribution.geolocate import country_shares, geolocate_hijack_ips
+from repro.core.datasets import DatasetCatalog
+from repro.core.simulation import SimulationResult
+from repro.util.render import bar_chart
+
+
+@dataclass(frozen=True)
+class Figure11:
+    """Country → distinct-IP counts and shares."""
+
+    counts: Dict[str, int]
+    shares: List[Tuple[str, float]]
+
+    def share(self, country: str) -> float:
+        for code, share in self.shares:
+            if code == country:
+                return share
+        return 0.0
+
+
+def compute(result: SimulationResult, sample: int = 3000) -> Figure11:
+    cases = DatasetCatalog(result).d13_hijack_cases(sample=sample)
+    counts = geolocate_hijack_ips(result.store, result.geoip, cases)
+    return Figure11(counts=counts, shares=country_shares(counts))
+
+
+def render(figure: Figure11) -> str:
+    top = figure.shares[:10]
+    return bar_chart(
+        [country for country, _ in top],
+        [share * 100 for _, share in top],
+        title=("Figure 11: top countries for the IPs involved in hijacking "
+               f"({sum(figure.counts.values())} IPs)"),
+        value_format="{:.1f}%",
+    )

@@ -1,0 +1,65 @@
+"""IP-based attribution — Figure 11.
+
+"Our analysis relies on the geolocation of IPs used to access 3000
+hijacked accounts selected at random in January 2014."  Given a set of
+hijack-case account ids, we pull the hijacker-side login events from the
+log store, geolocate each source address, and aggregate country shares.
+Whether the addresses are proxies or true origins is as unknowable here
+as it was to the authors — the analysis reports where the *traffic*
+comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logs.events import Actor, LoginEvent
+from repro.logs.mapreduce import count_by
+from repro.logs.store import LogStore
+from repro.net.geoip import GeoIpDatabase
+
+
+def geolocate_hijack_ips(store: LogStore, geoip: GeoIpDatabase,
+                         case_account_ids: Iterable[str],
+                         since: int = 0,
+                         until: Optional[int] = None) -> Dict[str, int]:
+    """Country → distinct-IP count over the cases' hijacker logins.
+
+    Each distinct address counts once (the paper counts IPs involved,
+    not login volume, so a chatty session doesn't skew geography).
+    """
+    cases = set(case_account_ids)
+    logins = store.query(
+        LoginEvent, since=since, until=until,
+        where=lambda e: (
+            e.account_id in cases and e.actor is Actor.MANUAL_HIJACKER
+            and e.ip is not None
+        ),
+    )
+    distinct_ips = {login.ip for login in logins}
+    located = [(ip, geoip.lookup(ip)) for ip in sorted(distinct_ips)]
+    return count_by(
+        [country for _, country in located if country is not None],
+        key_of=lambda country: country,
+    )
+
+
+def country_shares(counts: Dict[str, int],
+                   top: Optional[int] = None) -> List[Tuple[str, float]]:
+    """(country, share) pairs sorted by share, optionally truncated."""
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    shares = sorted(
+        ((country, count / total) for country, count in counts.items()),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    return shares[:top] if top is not None else shares
+
+
+def dominant_countries(counts: Dict[str, int], threshold: float = 0.05,
+                       ) -> Sequence[str]:
+    """Countries holding at least ``threshold`` of the traffic."""
+    return tuple(
+        country for country, share in country_shares(counts) if share >= threshold
+    )

@@ -1,0 +1,17 @@
+"""The study's core: simulation configuration, the discrete-event
+orchestrator that runs the hijacking ecosystem against the provider,
+scenario presets per experiment, the 14-dataset extraction of Table 1,
+and headline summary metrics."""
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation, SimulationResult
+from repro.core.datasets import DatasetCatalog
+from repro.core.metrics import SummaryMetrics
+
+__all__ = [
+    "SimulationConfig",
+    "Simulation",
+    "SimulationResult",
+    "DatasetCatalog",
+    "SummaryMetrics",
+]

@@ -1,0 +1,23 @@
+"""The provider's anti-hijacking defense stack (Section 8): the
+authentication front door, login-time risk analysis with challenges,
+post-login behavioral risk analysis, proactive user notifications, and
+the abuse-response path that suspends accounts mid-exploitation."""
+
+from repro.defense.auth import AuthService, LoginOutcome
+from repro.defense.risk import LoginRiskAnalyzer, AccountLoginProfile, IpReputationTracker
+from repro.defense.challenge import ChallengeService
+from repro.defense.behavioral import BehavioralRiskAnalyzer
+from repro.defense.notifications import NotificationService
+from repro.defense.abuse import AbuseResponse
+
+__all__ = [
+    "AuthService",
+    "LoginOutcome",
+    "LoginRiskAnalyzer",
+    "AccountLoginProfile",
+    "IpReputationTracker",
+    "ChallengeService",
+    "BehavioralRiskAnalyzer",
+    "NotificationService",
+    "AbuseResponse",
+]

@@ -1,0 +1,88 @@
+"""The login challenge (Section 8.2).
+
+When risk analysis deems an attempt suspicious, the user is redirected to
+an additional verification step: proving possession of the registered
+phone (SMS code) or answering knowledge questions.  The paper's design
+point — phone possession is a much safer challenge than guessable
+knowledge answers — is expressed in the pass-rate asymmetry below.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.logs.events import Actor, ChallengeEvent
+from repro.logs.store import LogStore
+from repro.world.accounts import Account
+
+
+@dataclass
+class ChallengeService:
+    """Issues and grades login challenges."""
+
+    rng: random.Random
+    store: LogStore
+    #: Owners nearly always pass an SMS challenge (they hold the phone);
+    #: the shortfall is SMS gateway unreliability and confusion.
+    owner_sms_pass_rate: float = 0.95
+    #: Hijackers essentially never pass SMS — unless they control the
+    #: phone on file (their own number enrolled as a retention tactic).
+    hijacker_sms_pass_rate: float = 0.02
+    #: Knowledge questions: owners forget answers; hijackers can research
+    #: or guess them (Schechter et al.) — the asymmetry is much weaker.
+    owner_knowledge_pass_rate: float = 0.75
+    hijacker_knowledge_pass_rate: float = 0.22
+    #: Owner-enrolled second factors can still be bypassed via phished
+    #: application-specific passwords (§8.2's caveat) — a small leak,
+    #: far below the plain-SMS hijacker rate of the recovery flow.
+    app_password_bypass_rate: float = 0.08
+
+    def challenge(self, account: Account, actor: Actor, now: int) -> bool:
+        """Run the strongest challenge available; returns pass/fail."""
+        hijacker_controls_phone = (
+            account.two_factor_enabled_by_hijacker
+            and account.two_factor_phone is not None
+        )
+        owner_enrolled_second_factor = (
+            account.two_factor_phone is not None
+            and not account.two_factor_enabled_by_hijacker
+        )
+        if hijacker_controls_phone:
+            # The retention tactic of Section 7: the hijacker enrolled
+            # *their* phone, so the challenge now locks the owner out.
+            method = "sms"
+            pass_rate = (
+                self.hijacker_sms_pass_rate if actor is Actor.OWNER
+                else self.owner_sms_pass_rate
+            )
+        elif owner_enrolled_second_factor:
+            # The best client-side defense (§8.2): a phished password is
+            # not enough; the remaining leak is application-specific
+            # passwords, which can themselves be phished.
+            method = "sms"
+            pass_rate = (
+                self.owner_sms_pass_rate if actor is Actor.OWNER
+                else self.app_password_bypass_rate
+            )
+        elif account.recovery.phone is not None:
+            method = "sms"
+            pass_rate = (
+                self.owner_sms_pass_rate if actor is Actor.OWNER
+                else self.hijacker_sms_pass_rate
+            )
+        else:
+            method = "knowledge"
+            pass_rate = (
+                self.owner_knowledge_pass_rate if actor is Actor.OWNER
+                else self.hijacker_knowledge_pass_rate
+            )
+        passed = self.rng.random() < pass_rate
+        self.store.append(ChallengeEvent(
+            timestamp=now,
+            account_id=account.account_id,
+            method=method,
+            passed=passed,
+            actor=actor,
+        ))
+        return passed

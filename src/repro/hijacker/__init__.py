@@ -1,0 +1,41 @@
+"""The adversary: organized manual-hijacking crews (Section 5.5's
+"ordinary office job" observation), their credential queues, IP pools,
+profiling and exploitation playbooks, and retention tactics — plus the
+automated-botnet and targeted-attack models that complete the Figure 1
+taxonomy."""
+
+from repro.hijacker.schedule import WorkSchedule
+from repro.hijacker.ippool import CrewIpPool
+from repro.hijacker.groups import HijackingCrew, default_crews, Era
+from repro.hijacker.queue import CredentialQueue, PickupModel
+from repro.hijacker.profiling import ProfilingPlaybook, SearchTermModel
+from repro.hijacker.exploitation import ExploitationPlaybook
+from repro.hijacker.retention import RetentionPlaybook, RetentionProfile
+from repro.hijacker.doppelganger import make_doppelganger
+from repro.hijacker.incident import IncidentDriver, IncidentReport
+from repro.hijacker.taxonomy import AttackClass, TAXONOMY
+from repro.hijacker.automated import AutomatedHijackingBotnet
+from repro.hijacker.targeted import TargetedAttacker, EspionageReport
+
+__all__ = [
+    "WorkSchedule",
+    "CrewIpPool",
+    "HijackingCrew",
+    "default_crews",
+    "Era",
+    "CredentialQueue",
+    "PickupModel",
+    "ProfilingPlaybook",
+    "SearchTermModel",
+    "ExploitationPlaybook",
+    "RetentionPlaybook",
+    "RetentionProfile",
+    "make_doppelganger",
+    "IncidentDriver",
+    "IncidentReport",
+    "AttackClass",
+    "TAXONOMY",
+    "AutomatedHijackingBotnet",
+    "TargetedAttacker",
+    "EspionageReport",
+]

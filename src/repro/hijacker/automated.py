@@ -1,0 +1,101 @@
+"""The automated-hijacking baseline (Section 2's comparison class).
+
+A botnet compromising accounts at scale behaves nothing like the manual
+crews: it logs into *many* accounts per IP per day (no blend-in
+guideline), skips profiling entirely, and immediately blasts bulk spam
+abusing the account's sender reputation.  The model exists so the
+taxonomy bench (Figure 1) and the defense ablations can contrast the
+two classes quantitatively — e.g. how much easier the per-IP fan-out
+signal makes automated detection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.defense.auth import AuthService, LoginOutcome
+from repro.logs.events import Actor
+from repro.mail.service import MailService
+from repro.net.ip import IpAddress, IpAllocator
+from repro.world.accounts import Account, Credential
+from repro.world.messages import MessageKind
+from repro.world.population import Population
+
+
+@dataclass
+class BotnetReport:
+    """Aggregate outcome of one botnet wave."""
+
+    attempts: int = 0
+    compromised: int = 0
+    blocked: int = 0
+    spam_messages: int = 0
+    distinct_ips: int = 0
+
+
+@dataclass
+class AutomatedHijackingBotnet:
+    """A spam-oriented automated hijacker."""
+
+    rng: random.Random
+    population: Population
+    auth: AuthService
+    mail: MailService
+    allocator: IpAllocator
+    #: Bots are spread worldwide; each handles many accounts per day.
+    bot_countries: Sequence[str] = ("US", "BR", "IN", "VN", "CN", "DE")
+    accounts_per_bot: int = 80
+    spam_per_account: int = 3
+    spam_recipients_per_message: int = 40
+
+    def run_wave(self, credentials: Sequence[Credential], now: int) -> BotnetReport:
+        """Process a credential dump the way a botnet does: fast, wide,
+        and indifferent to per-account value."""
+        report = BotnetReport()
+        bots: List[IpAddress] = []
+        self._address_pool = [
+            account.address for account in self.population.accounts.values()
+        ]
+        for index, credential in enumerate(credentials):
+            if index % self.accounts_per_bot == 0:
+                bots.append(self.allocator.allocate(self.rng.choice(self.bot_countries)))
+            bot_ip = bots[-1]
+            account = self.population.lookup_address(credential.address)
+            if account is None:
+                continue
+            report.attempts += 1
+            outcome = self.auth.attempt_login(
+                account, credential.password, bot_ip,
+                Actor.AUTOMATED_HIJACKER, now + index % 30,
+            )
+            if outcome is LoginOutcome.SUCCESS:
+                report.compromised += 1
+                report.spam_messages += self._spam_from(account, now + index % 30)
+            elif outcome in (LoginOutcome.BLOCKED, LoginOutcome.CHALLENGED_FAILED):
+                report.blocked += 1
+        report.distinct_ips = len(bots)
+        return report
+
+    def _spam_from(self, account: Account, now: int) -> int:
+        """Immediate monetization: bulk spam to strangers — no 3-minute
+        assessment, no contact curation, no retention tactics."""
+        sent = 0
+        addresses = self._address_pool
+        for message_index in range(self.spam_per_account):
+            recipients = self.rng.sample(
+                addresses, min(self.spam_recipients_per_message, len(addresses)),
+            )
+            self.mail.send(
+                account, recipients,
+                subject="Cheap meds, limited offer — 80% off",
+                now=now + message_index,
+                kind=MessageKind.BULK_SPAM,
+                keywords=("cheap", "pills", "unsubscribe", "% off"),
+                actor=Actor.AUTOMATED_HIJACKER,
+                contains_url=True,
+                body="Unbeatable limited offer! Cheap pills, click now. unsubscribe",
+            )
+            sent += 1
+        return sent

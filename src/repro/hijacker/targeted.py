@@ -1,0 +1,123 @@
+"""The targeted-attack model — the third class of Section 2's taxonomy.
+
+"Targeted attacks include industrial espionage and state-sponsored
+break-ins … carried out by highly sophisticated parties who have the
+resources to extensively profile targets and launch tailored attacks",
+including dedicated 0-days and highly targeted phishing.  The paper
+explicitly scopes them *out* of its measurement; we model them only as
+deeply as Figure 1 needs: a handful of hand-picked victims, a tailored
+compromise that rarely fails, and a deep, quiet exfiltration — no
+blend-in games (they use clean infrastructure), no scam blasts, no
+retention circus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.defense.auth import AuthService, LoginOutcome
+from repro.logs.events import Actor, FolderOpenEvent, SearchEvent
+from repro.logs.store import LogStore
+from repro.mail.search import MailSearchService
+from repro.net.ip import IpAllocator
+from repro.util.clock import DAY, HOUR
+from repro.world.accounts import Account
+from repro.world.population import Population
+
+
+@dataclass(frozen=True)
+class EspionageReport:
+    """One targeted intrusion's outcome."""
+
+    account_id: str
+    succeeded: bool
+    messages_read: int
+    dwell_minutes: int
+    sessions: int
+
+
+@dataclass
+class TargetedAttacker:
+    """A state-grade actor working a short, hand-picked target list."""
+
+    rng: random.Random
+    population: Population
+    auth: AuthService
+    search: MailSearchService
+    allocator: IpAllocator
+    store: LogStore
+    #: Tailored spear phishing / 0-days rarely miss (Section 2).
+    compromise_success_rate: float = 0.9
+    #: Espionage dwells for days, revisiting quietly.
+    revisit_sessions: int = 5
+    reports: List[EspionageReport] = field(default_factory=list)
+
+    def select_targets(self, count: int) -> List[Account]:
+        """Extensive profiling: pick the most connected, richest accounts
+        (executives, in effect) — not opportunistic victims."""
+        candidates = sorted(
+            self.population.accounts.values(),
+            key=lambda account: (
+                -account.owner.traits.value_score(),
+                -len(account.mailbox.contact_addresses()),
+                account.account_id,
+            ),
+        )
+        return candidates[:count]
+
+    def run_campaign(self, n_targets: int, start: int) -> List[EspionageReport]:
+        """Work the target list over weeks (volume stays tiny)."""
+        for index, account in enumerate(self.select_targets(n_targets)):
+            self.reports.append(
+                self._intrude(account, start + index * 2 * DAY))
+        return list(self.reports)
+
+    def _intrude(self, account: Account, at: int) -> EspionageReport:
+        if self.rng.random() >= self.compromise_success_rate:
+            return EspionageReport(account.account_id, False, 0, 0, 0)
+        # Clean, victim-local infrastructure: the login barely stands out.
+        ip = self.allocator.allocate(account.owner.country)
+        sessions = messages_read = 0
+        first = last = at
+        for session_index in range(self.revisit_sessions):
+            session_at = at + session_index * self.rng.randrange(HOUR, 2 * DAY)
+            outcome = self.auth.attempt_login(
+                account, account.password, ip,
+                Actor.TARGETED_ATTACKER, session_at,
+            )
+            if outcome is not LoginOutcome.SUCCESS:
+                continue
+            sessions += 1
+            last = session_at
+            # Deep exfiltration: read everything, quietly, no sends.
+            messages_read += len(account.mailbox.messages())
+            self.store.append(FolderOpenEvent(
+                timestamp=session_at + 1, account_id=account.account_id,
+                folder="Inbox", actor=Actor.TARGETED_ATTACKER))
+            self.store.append(SearchEvent(
+                timestamp=session_at + 2, account_id=account.account_id,
+                query="attachment", result_count=0,
+                actor=Actor.TARGETED_ATTACKER))
+        return EspionageReport(
+            account_id=account.account_id,
+            succeeded=sessions > 0,
+            messages_read=messages_read,
+            dwell_minutes=max(0, last - first),
+            sessions=sessions,
+        )
+
+    def depth_score(self) -> float:
+        """Per-victim damage rating for the Figure 1 plane: full mailbox
+        exfiltration over a long dwell is the deepest abuse there is."""
+        succeeded = [r for r in self.reports if r.succeeded]
+        if not succeeded:
+            return 0.0
+        score = 0.6  # complete data exfiltration
+        mean_dwell = sum(r.dwell_minutes for r in succeeded) / len(succeeded)
+        if mean_dwell > DAY:
+            score += 0.25  # persistent presence
+        if all(r.sessions >= 2 for r in succeeded):
+            score += 0.15  # repeated covert access
+        return min(1.0, score)

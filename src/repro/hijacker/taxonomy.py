@@ -1,0 +1,95 @@
+"""The hijacking taxonomy of Figure 1.
+
+Google categorizes hijacking campaigns on two axes: the **depth of
+exploitation** (damage per victim) and the **number of accounts**
+impacted.  Automated hijacking compromises huge volumes shallowly;
+targeted attacks hit a handful of victims very deeply; manual hijacking
+sits between — modest volume, deep per-victim abuse.
+
+The module gives each class a quantitative envelope so the Figure 1
+bench can *measure* the trade-off from simulated campaigns of each kind
+rather than just restating the diagram.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class AttackClass(enum.Enum):
+    """The three classes of Section 2."""
+
+    AUTOMATED = "automated"
+    MANUAL = "manual"
+    TARGETED = "targeted"
+
+
+@dataclass(frozen=True)
+class ClassProfile:
+    """The (volume, depth) envelope of one attack class.
+
+    ``accounts_per_day`` is the order of magnitude of accounts an actor
+    of this class touches daily; ``depth_score`` is a 0–1 rating of
+    per-victim damage (folded from monetization style: blanket spam vs.
+    contact scams + lockout vs. full espionage).
+    """
+
+    attack_class: AttackClass
+    accounts_per_day: Tuple[int, int]   # (low, high)
+    depth_score: float
+    description: str
+
+    def __post_init__(self) -> None:
+        low, high = self.accounts_per_day
+        if not 0 < low <= high:
+            raise ValueError(f"bad volume envelope: {self.accounts_per_day}")
+        if not 0.0 < self.depth_score <= 1.0:
+            raise ValueError(f"depth score out of range: {self.depth_score}")
+
+
+TAXONOMY: Dict[AttackClass, ClassProfile] = {
+    AttackClass.AUTOMATED: ClassProfile(
+        attack_class=AttackClass.AUTOMATED,
+        accounts_per_day=(10_000, 1_000_000),
+        depth_score=0.15,
+        description=(
+            "Botnet-driven compromise monetizing the commonest resource "
+            "across accounts (spam from a reputable sender)."
+        ),
+    ),
+    AttackClass.MANUAL: ClassProfile(
+        attack_class=AttackClass.MANUAL,
+        accounts_per_day=(10, 300),
+        depth_score=0.75,
+        description=(
+            "Human operators profiling victims and scamming their "
+            "contacts; rare but highly damaging per victim."
+        ),
+    ),
+    AttackClass.TARGETED: ClassProfile(
+        attack_class=AttackClass.TARGETED,
+        accounts_per_day=(1, 10),
+        depth_score=1.0,
+        description=(
+            "Espionage / state-sponsored break-ins with extensive "
+            "per-target tailoring (0-days, spear phishing)."
+        ),
+    ),
+}
+
+
+def classify_observed(accounts_per_day: float, depth_score: float) -> AttackClass:
+    """Place an observed campaign on the Figure 1 plane.
+
+    Volume decides first (the axes are roughly log-separable); depth
+    breaks the tie between low-volume classes.
+    """
+    if accounts_per_day <= 0:
+        raise ValueError("volume must be positive")
+    if accounts_per_day >= TAXONOMY[AttackClass.AUTOMATED].accounts_per_day[0]:
+        return AttackClass.AUTOMATED
+    if accounts_per_day <= TAXONOMY[AttackClass.TARGETED].accounts_per_day[1]:
+        return AttackClass.TARGETED if depth_score > 0.85 else AttackClass.MANUAL
+    return AttackClass.MANUAL

@@ -1,0 +1,47 @@
+"""Log infrastructure: typed event records, the append-only store the
+measurement pipeline mines, privacy-driven retention, and a small
+map-reduce engine mirroring how the paper aggregates its system logs.
+"""
+
+from repro.logs.events import (
+    Actor,
+    ChallengeEvent,
+    Event,
+    FolderOpenEvent,
+    HijackFlagEvent,
+    HttpRequestEvent,
+    LoginEvent,
+    MailReportedEvent,
+    MailSentEvent,
+    NotificationEvent,
+    RecoveryClaimEvent,
+    RemissionEvent,
+    SearchEvent,
+    SettingsChangeEvent,
+    SuspensionEvent,
+)
+from repro.logs.store import LogStore
+from repro.logs.retention import RetentionPolicy
+from repro.logs.mapreduce import MapReduceJob, run_job
+
+__all__ = [
+    "Actor",
+    "Event",
+    "LoginEvent",
+    "ChallengeEvent",
+    "SearchEvent",
+    "FolderOpenEvent",
+    "MailSentEvent",
+    "MailReportedEvent",
+    "SettingsChangeEvent",
+    "SuspensionEvent",
+    "NotificationEvent",
+    "RecoveryClaimEvent",
+    "RemissionEvent",
+    "HijackFlagEvent",
+    "HttpRequestEvent",
+    "LogStore",
+    "RetentionPolicy",
+    "MapReduceJob",
+    "run_job",
+]

@@ -1,0 +1,208 @@
+"""Typed log events.
+
+Every observable the paper's 14 datasets mine is an event type here.
+Events carry an ``actor`` ground-truth tag (owner / manual hijacker /
+automated bot) — the analog of the labels the authors obtained through
+manual curation and high-confidence abuse verdicts.  Analysis code is
+expected to access ground truth only through
+:mod:`repro.analysis.curation`, mirroring the paper's methodology of
+curating noisy pools into labeled samples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.net.http import HttpRequest
+from repro.net.ip import IpAddress
+from repro.net.phones import PhoneNumber
+
+
+class Actor(str, enum.Enum):
+    """Who performed an action (ground truth, curation-only)."""
+
+    OWNER = "owner"
+    MANUAL_HIJACKER = "manual_hijacker"
+    AUTOMATED_HIJACKER = "automated_hijacker"
+    TARGETED_ATTACKER = "targeted_attacker"
+    SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: a timestamped record in the provider's logs."""
+
+    timestamp: int
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"negative timestamp: {self.timestamp}")
+
+
+@dataclass(frozen=True)
+class LoginEvent(Event):
+    """One login attempt against an account."""
+
+    account_id: str = ""
+    ip: Optional[IpAddress] = None
+    password_correct: bool = False
+    succeeded: bool = False
+    challenged: bool = False
+    blocked: bool = False
+    actor: Actor = Actor.OWNER
+    risk_score: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.account_id:
+            raise ValueError("login event requires an account id")
+        if self.succeeded and not self.password_correct:
+            raise ValueError("login cannot succeed with a wrong password")
+        if self.succeeded and self.blocked:
+            raise ValueError("login cannot both succeed and be blocked")
+
+
+@dataclass(frozen=True)
+class ChallengeEvent(Event):
+    """A login-challenge verification attempt (Section 8.2)."""
+
+    account_id: str = ""
+    method: str = "sms"        # sms | knowledge
+    passed: bool = False
+    actor: Actor = Actor.OWNER
+
+
+@dataclass(frozen=True)
+class SearchEvent(Event):
+    """A mailbox search (the hijacker profiling signal of Table 3)."""
+
+    account_id: str = ""
+    query: str = ""
+    result_count: int = 0
+    actor: Actor = Actor.OWNER
+
+
+@dataclass(frozen=True)
+class FolderOpenEvent(Event):
+    """A folder view (Starred / Drafts / Sent / Trash, Section 5.2)."""
+
+    account_id: str = ""
+    folder: str = ""
+    actor: Actor = Actor.OWNER
+
+
+@dataclass(frozen=True)
+class MailSentEvent(Event):
+    """An outgoing message from an account."""
+
+    account_id: str = ""
+    message_id: str = ""
+    recipient_count: int = 0
+    distinct_recipients: Tuple[str, ...] = ()
+    kind: str = "organic"      # mirrors MessageKind.value (ground truth)
+    actor: Actor = Actor.OWNER
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.recipient_count < 1:
+            raise ValueError("sent mail must have at least one recipient")
+
+
+@dataclass(frozen=True)
+class MailReportedEvent(Event):
+    """A recipient reported a message as spam or phishing."""
+
+    reporter_account_id: str = ""
+    message_id: str = ""
+    sender_account_id: Optional[str] = None
+    reported_as: str = "spam"  # spam | phishing
+
+
+@dataclass(frozen=True)
+class SettingsChangeEvent(Event):
+    """An account-settings mutation (retention-tactic telemetry, §5.4)."""
+
+    account_id: str = ""
+    setting: str = ""
+    actor: Actor = Actor.OWNER
+    detail: str = ""
+    phone: Optional[PhoneNumber] = None
+
+    SETTINGS = (
+        "password", "recovery_email", "recovery_phone", "secret_question",
+        "mail_filter", "reply_to", "two_factor", "mass_delete",
+    )
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.setting not in self.SETTINGS:
+            raise ValueError(f"unknown setting {self.setting!r}")
+
+
+@dataclass(frozen=True)
+class SuspensionEvent(Event):
+    """Abuse detection proactively disabled an account."""
+
+    account_id: str = ""
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class NotificationEvent(Event):
+    """A proactive security notification to the user (Section 8.2)."""
+
+    account_id: str = ""
+    channel: str = "sms"       # sms | secondary_email | in_product
+    trigger: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryClaimEvent(Event):
+    """An account-recovery claim and its outcome (Figures 9 & 10)."""
+
+    account_id: str = ""
+    method: str = "sms"        # sms | email | fallback
+    succeeded: bool = False
+    #: When the provider's risk analysis first flagged the hijacking —
+    #: the start of the latency clock of Figure 9.
+    hijack_flagged_at: int = 0
+    completed_at: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.completed_at < self.timestamp:
+            raise ValueError("claim cannot complete before it is filed")
+
+
+@dataclass(frozen=True)
+class RemissionEvent(Event):
+    """Post-recovery cleanup of hijacker changes (Section 6.4)."""
+
+    account_id: str = ""
+    settings_reverted: int = 0
+    messages_restored: int = 0
+    user_opted_in: bool = True
+
+
+@dataclass(frozen=True)
+class HijackFlagEvent(Event):
+    """The provider's risk analysis flagged an account as hijacked."""
+
+    account_id: str = ""
+    source: str = "login_risk"  # login_risk | behavioral | user_claim
+
+
+@dataclass(frozen=True)
+class HttpRequestEvent(Event):
+    """One phishing-page HTTP log line (the Forms logs of Figures 3–6)."""
+
+    request: HttpRequest = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.request is None:
+            raise ValueError("http event requires a request")
+        if self.request.timestamp != self.timestamp:
+            raise ValueError("event/request timestamp mismatch")

@@ -1,0 +1,99 @@
+"""The append-only log store.
+
+One store per simulation holds every event.  It indexes by event type and
+by account id, supports time-range queries, and enforces the append-only /
+near-monotonic discipline the analysis code depends on: queries return
+events in timestamp order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Type, TypeVar
+
+from repro.logs.events import Event
+
+E = TypeVar("E", bound=Event)
+
+
+class LogStore:
+    """Typed, indexed, append-only event storage."""
+
+    def __init__(self) -> None:
+        self._by_type: Dict[type, List[Event]] = {}
+        self._by_account: Dict[str, List[Event]] = {}
+        self._count = 0
+
+    def append(self, event: Event) -> None:
+        """Record an event."""
+        self._by_type.setdefault(type(event), []).append(event)
+        account_id = getattr(event, "account_id", None)
+        if account_id:
+            self._by_account.setdefault(account_id, []).append(event)
+        self._count += 1
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.append(event)
+
+    def query(self, event_type: Type[E], since: int = 0,
+              until: Optional[int] = None,
+              where: Optional[Callable[[E], bool]] = None) -> List[E]:
+        """Events of ``event_type`` in [since, until], timestamp-sorted.
+
+        ``where`` filters after the time window.  Subclass matching is not
+        performed — each event class is its own log family, as it would be
+        in a real log system where each service writes its own table.
+        """
+        events = self._by_type.get(event_type, [])
+        selected = [
+            event for event in events
+            if event.timestamp >= since
+            and (until is None or event.timestamp <= until)
+        ]
+        if where is not None:
+            selected = [event for event in selected if where(event)]
+        return sorted(selected, key=lambda event: event.timestamp)  # type: ignore[return-value]
+
+    def for_account(self, account_id: str, since: int = 0,
+                    until: Optional[int] = None) -> List[Event]:
+        """All events touching one account, across types, time-sorted."""
+        events = self._by_account.get(account_id, [])
+        selected = [
+            event for event in events
+            if event.timestamp >= since
+            and (until is None or event.timestamp <= until)
+        ]
+        return sorted(selected, key=lambda event: event.timestamp)
+
+    def count(self, event_type: Optional[type] = None) -> int:
+        if event_type is None:
+            return self._count
+        return len(self._by_type.get(event_type, []))
+
+    def event_types(self) -> List[type]:
+        return sorted(self._by_type, key=lambda t: t.__name__)
+
+    def accounts_seen(self) -> List[str]:
+        return sorted(self._by_account)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def remove_where(self, event_type: type, predicate: Callable[[Event], bool]) -> int:
+        """Erase matching events (used by the retention policy only).
+
+        Returns the number of erased events.  This is the one non-append
+        operation, modeling Google's privacy-driven log sanitization.
+        """
+        events = self._by_type.get(event_type, [])
+        keep = [event for event in events if not predicate(event)]
+        erased = len(events) - len(keep)
+        if erased:
+            self._by_type[event_type] = keep
+            for account_events in self._by_account.values():
+                account_events[:] = [
+                    event for event in account_events
+                    if not (type(event) is event_type and predicate(event))
+                ]
+            self._count -= erased
+        return erased

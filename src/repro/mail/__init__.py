@@ -1,0 +1,17 @@
+"""The mail service of the primary provider: delivery, spam filtering,
+user abuse reports, and mailbox search — the Gmail-analog substrate whose
+logs Sections 4–5 of the paper mine."""
+
+from repro.mail.service import MailService, SendResult
+from repro.mail.spamfilter import SpamFilter, SpamVerdict
+from repro.mail.reports import UserReportModel
+from repro.mail.search import MailSearchService
+
+__all__ = [
+    "MailService",
+    "SendResult",
+    "SpamFilter",
+    "SpamVerdict",
+    "UserReportModel",
+    "MailSearchService",
+]

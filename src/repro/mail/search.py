@@ -1,0 +1,70 @@
+"""Mailbox search as a *logged* service.
+
+Section 5.2's Table 3 is built from a temporary experiment that collected
+the search terms hijackers typed.  Routing every search through this
+service — owner and hijacker alike — gives the log store the
+``SearchEvent`` stream that analysis samples from, with the same
+signal-to-noise problem the authors had (owners search their own mail
+constantly).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.logs.events import Actor, FolderOpenEvent, SearchEvent
+from repro.logs.store import LogStore
+from repro.world.accounts import Account
+from repro.world.messages import EmailMessage, Folder
+
+#: Queries ordinary owners type (background noise for Table 3 curation).
+_OWNER_QUERIES = (
+    "flight confirmation", "receipt", "mom", "photos", "meeting",
+    "invoice", "amazon order", "reservation", "newsletter", "tax",
+)
+
+
+@dataclass
+class MailSearchService:
+    """Executes and logs mailbox searches and folder opens.
+
+    The behavioral risk analyzer, when attached, sees every search from
+    everyone — it cannot tell owners from hijackers a priori, which is
+    precisely the detection difficulty Section 8.1 describes.
+    """
+
+    store: LogStore
+    behavioral: Optional[object] = None
+
+    def search(self, account: Account, query: str, now: int,
+               actor: Actor = Actor.OWNER) -> List[EmailMessage]:
+        results = account.mailbox.search(query)
+        self.store.append(SearchEvent(
+            timestamp=now,
+            account_id=account.account_id,
+            query=query,
+            result_count=len(results),
+            actor=actor,
+        ))
+        if self.behavioral is not None:
+            self.behavioral.note_search(account.account_id, query, now)
+        account.mark_activity(now)
+        return results
+
+    def open_folder(self, account: Account, folder: Folder, now: int,
+                    actor: Actor = Actor.OWNER) -> List[EmailMessage]:
+        self.store.append(FolderOpenEvent(
+            timestamp=now,
+            account_id=account.account_id,
+            folder=folder.value,
+            actor=actor,
+        ))
+        account.mark_activity(now)
+        return account.mailbox.messages(folder=folder)
+
+
+def random_owner_query(rng: random.Random) -> str:
+    """A query an account owner would plausibly type."""
+    return rng.choice(_OWNER_QUERIES)

@@ -1,0 +1,29 @@
+"""Network substrate: IPv4 addresses and blocks, a synthetic GeoIP
+database, an E.164 phone numbering plan, HTTP request records, domain and
+email-address utilities.
+
+The paper's attribution section geolocates hijacker IPs (Figure 11) and
+maps hijacker phone numbers to countries via calling codes (Figure 12);
+this subpackage provides both capabilities over simulator-allocated
+resources.
+"""
+
+from repro.net.ip import IpAddress, IpBlock, IpAllocator
+from repro.net.geoip import GeoIpDatabase, COUNTRIES, country_name
+from repro.net.phones import PhoneNumber, PhoneNumberPlan, country_of_calling_code
+from repro.net.http import HttpRequest, ReferrerClass, classify_referrer
+
+__all__ = [
+    "IpAddress",
+    "IpBlock",
+    "IpAllocator",
+    "GeoIpDatabase",
+    "COUNTRIES",
+    "country_name",
+    "PhoneNumber",
+    "PhoneNumberPlan",
+    "country_of_calling_code",
+    "HttpRequest",
+    "ReferrerClass",
+    "classify_referrer",
+]

@@ -1,0 +1,84 @@
+"""Email address value objects and generation.
+
+Addresses carry the TLD signal Figure 4 measures and the username signal
+the doppelganger tactic manipulates, so they are first-class values rather
+than bare strings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Container
+
+from repro.net.domains import tld_of
+
+_USERNAME_FIRST = (
+    "alex", "sam", "maria", "chen", "lee", "nina", "omar", "paula", "ravi",
+    "sofia", "tom", "uma", "victor", "wei", "yara", "zoe", "amara", "boris",
+    "clara", "dmitri", "elena", "farid", "gina", "hugo", "ines", "jonas",
+)
+_USERNAME_LAST = (
+    "smith", "garcia", "wang", "okafor", "dubois", "silva", "kumar",
+    "nakamura", "jensen", "moreau", "ferrari", "novak", "ali", "tanaka",
+    "berg", "costa", "fischer", "haddad", "ivanov", "keita",
+)
+
+
+@dataclass(frozen=True, order=True)
+class EmailAddress:
+    """``username@domain`` with minimal syntactic validation."""
+
+    username: str
+    domain: str
+
+    def __post_init__(self) -> None:
+        if not self.username or "@" in self.username or " " in self.username:
+            raise ValueError(f"invalid username: {self.username!r}")
+        if not self.domain or "." not in self.domain or "@" in self.domain:
+            raise ValueError(f"invalid domain: {self.domain!r}")
+
+    @classmethod
+    def parse(cls, raw: str) -> "EmailAddress":
+        username, separator, domain = raw.partition("@")
+        if not separator:
+            raise ValueError(f"not an email address: {raw!r}")
+        return cls(username, domain)
+
+    @property
+    def tld(self) -> str:
+        return tld_of(self.domain)
+
+    def with_username(self, username: str) -> "EmailAddress":
+        return EmailAddress(username, self.domain)
+
+    def with_domain(self, domain: str) -> "EmailAddress":
+        return EmailAddress(self.username, domain)
+
+    def __str__(self) -> str:
+        return f"{self.username}@{self.domain}"
+
+
+def generate_username(rng: random.Random) -> str:
+    """A plausible personal username (``first.last`` or ``firstNN``)."""
+    first = rng.choice(_USERNAME_FIRST)
+    if rng.random() < 0.6:
+        return f"{first}.{rng.choice(_USERNAME_LAST)}"
+    return f"{first}{rng.randrange(10, 100)}"
+
+
+def generate_address(rng: random.Random, domain: str,
+                     taken: Container[EmailAddress] = ()) -> EmailAddress:
+    """Generate an address on ``domain`` not present in ``taken``.
+
+    ``taken`` is used for membership tests only — pass a set when
+    generating many addresses to keep this O(1) per call.
+    """
+    for attempt in range(1000):
+        username = generate_username(rng)
+        if attempt > 10:
+            username = f"{username}{rng.randrange(1000)}"
+        address = EmailAddress(username, domain)
+        if address not in taken:
+            return address
+    raise RuntimeError(f"username space exhausted on {domain!r}")

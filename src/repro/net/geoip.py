@@ -1,0 +1,133 @@
+"""A synthetic GeoIP database.
+
+The paper geolocates 3,000 hijacking-case IPs (Figure 11).  We cannot ship
+a commercial GeoIP snapshot, so the simulator *plants* the geography: each
+country owns disjoint CIDR blocks (registered through
+:class:`repro.net.ip.IpAllocator`) and this database answers lookups over
+those blocks.  The attribution analysis only ever sees the lookup API —
+the same interface a MaxMind-style database would give the authors.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.ip import IpAddress, IpBlock, IpAllocator
+
+#: ISO-3166 alpha-2 code → display name for every country the study
+#: mentions (hijacker origins, victim origins, referrer geographies).
+COUNTRIES: Dict[str, str] = {
+    "CN": "China",
+    "MY": "Malaysia",
+    "CI": "Ivory Coast",
+    "NG": "Nigeria",
+    "ZA": "South Africa",
+    "VE": "Venezuela",
+    "ML": "Mali",
+    "VN": "Vietnam",
+    "AF": "Afghanistan",
+    "US": "United States",
+    "FR": "France",
+    "IN": "India",
+    "BR": "Brazil",
+    "GB": "United Kingdom",
+    "DE": "Germany",
+    "ES": "Spain",
+    "CA": "Canada",
+    "AU": "Australia",
+    "JP": "Japan",
+    "MX": "Mexico",
+}
+
+
+def country_name(code: str) -> str:
+    """Display name for an ISO country code; raises KeyError if unknown."""
+    return COUNTRIES[code]
+
+
+class GeoIpDatabase:
+    """Maps IP addresses to countries via registered CIDR blocks.
+
+    Lookups are O(log n) over a sorted block index.  Blocks must be
+    disjoint (enforced at registration).
+    """
+
+    def __init__(self) -> None:
+        # Sorted parallel arrays: block start address, (block, country).
+        self._starts: List[int] = []
+        self._entries: List[Tuple[IpBlock, str]] = []
+
+    @classmethod
+    def from_allocator(cls, allocator: IpAllocator) -> "GeoIpDatabase":
+        """Build a database mirroring an allocator's registered blocks."""
+        database = cls()
+        for country in allocator.countries():
+            for block in allocator.blocks(country):
+                database.register(block, country)
+        return database
+
+    def register(self, block: IpBlock, country: str) -> None:
+        if country not in COUNTRIES:
+            raise KeyError(f"unknown country code {country!r}")
+        index = bisect.bisect_left(self._starts, block.network.value)
+        for neighbor_index in (index - 1, index):
+            if 0 <= neighbor_index < len(self._entries):
+                neighbor, _ = self._entries[neighbor_index]
+                if _overlap(neighbor, block):
+                    raise ValueError(f"block {block} overlaps {neighbor}")
+        self._starts.insert(index, block.network.value)
+        self._entries.insert(index, (block, country))
+
+    def lookup(self, address: IpAddress) -> Optional[str]:
+        """Country code owning ``address``, or None for unmapped space."""
+        index = bisect.bisect_right(self._starts, address.value) - 1
+        if index < 0:
+            return None
+        block, country = self._entries[index]
+        return country if address in block else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _overlap(a: IpBlock, b: IpBlock) -> bool:
+    a_end = a.network.value + a.size
+    b_end = b.network.value + b.size
+    return a.network.value < b_end and b.network.value < a_end
+
+
+#: Default CIDR allocations for the simulated Internet.  Each country gets
+#: one or more /12–/14 blocks carved out of distinct /8s so overlap is
+#: impossible by construction.  These are *synthetic* assignments — the
+#: reproduction needs internally consistent geography, not real RIR data.
+DEFAULT_BLOCKS: Dict[str, Tuple[str, ...]] = {
+    "CN": ("10.0.0.0/12", "10.16.0.0/12"),
+    "MY": ("11.0.0.0/12",),
+    "CI": ("12.0.0.0/12",),
+    "NG": ("13.0.0.0/12",),
+    "ZA": ("14.0.0.0/12",),
+    "VE": ("15.0.0.0/12",),
+    "ML": ("16.0.0.0/12",),
+    "VN": ("17.0.0.0/12",),
+    "AF": ("18.0.0.0/12",),
+    "US": ("20.0.0.0/10", "20.64.0.0/10"),
+    "FR": ("21.0.0.0/12",),
+    "IN": ("22.0.0.0/11",),
+    "BR": ("23.0.0.0/12",),
+    "GB": ("24.0.0.0/12",),
+    "DE": ("25.0.0.0/12",),
+    "ES": ("26.0.0.0/12",),
+    "CA": ("27.0.0.0/12",),
+    "AU": ("28.0.0.0/12",),
+    "JP": ("29.0.0.0/12",),
+    "MX": ("30.0.0.0/12",),
+}
+
+
+def build_default_internet(allocator: IpAllocator) -> GeoIpDatabase:
+    """Register the default per-country blocks and return the database."""
+    for country, cidrs in DEFAULT_BLOCKS.items():
+        for cidr in cidrs:
+            allocator.register_block(country, IpBlock.parse(cidr))
+    return GeoIpDatabase.from_allocator(allocator)

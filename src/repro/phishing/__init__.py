@@ -1,0 +1,29 @@
+"""The phishing ecosystem: lure emails, credential-harvesting pages
+(including Forms-hosted ones whose HTTP logs the provider can see), mass
+campaigns, the SafeBrowsing-style detection pipeline, and the decoy
+credential injection experiment of Section 5.1."""
+
+from repro.phishing.templates import AccountType, PhishingEmailTemplate, EMAIL_TEMPLATES
+from repro.phishing.pages import PhishingPage, PageHosting
+from repro.phishing.forms import FormsHttpLog
+from repro.phishing.lure import LureModel, LureOutcome
+from repro.phishing.campaign import PhishingCampaign, CampaignRunner
+from repro.phishing.safebrowsing import SafeBrowsingPipeline, Detection
+from repro.phishing.decoys import DecoyInjector, DecoyRecord
+
+__all__ = [
+    "AccountType",
+    "PhishingEmailTemplate",
+    "EMAIL_TEMPLATES",
+    "PhishingPage",
+    "PageHosting",
+    "FormsHttpLog",
+    "LureModel",
+    "LureOutcome",
+    "PhishingCampaign",
+    "CampaignRunner",
+    "SafeBrowsingPipeline",
+    "Detection",
+    "DecoyInjector",
+    "DecoyRecord",
+]

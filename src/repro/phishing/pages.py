@@ -1,0 +1,78 @@
+"""Phishing pages: credential-harvesting endpoints.
+
+A page has a target account type (Table 2's page column), an execution
+*quality* that drives its conversion rate (Figure 5's 3%–45% spread —
+"pages with low submission rates were very poorly executed"), a hosting
+location (the open web, or Google-Forms-hosted where the provider sees
+the HTTP logs), and a takedown time once SafeBrowsing catches it.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.phishing.templates import AccountType
+from repro.world.accounts import Credential
+
+
+class PageHosting(str, enum.Enum):
+    """Where the page lives; determines whose logs record its traffic."""
+
+    WEB = "web"          # attacker-controlled hosting
+    FORMS = "forms"      # hosted on the provider's Forms product
+
+
+@dataclass
+class PhishingPage:
+    """One live phishing page."""
+
+    page_id: str
+    target: AccountType
+    hosting: PageHosting
+    created_at: int
+    #: Execution quality in (0, 1]; multiplies victim submission odds.
+    quality: float
+    #: Which hijacking crew harvests this page's credentials (crew name),
+    #: or None for pages whose loot we never see used.
+    operator: Optional[str] = None
+    taken_down_at: Optional[int] = None
+    harvested: List[Credential] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quality <= 1.0:
+            raise ValueError(f"quality must be in (0,1], got {self.quality}")
+        if self.created_at < 0:
+            raise ValueError("page created before the epoch")
+
+    def is_up(self, now: int) -> bool:
+        return self.taken_down_at is None or now < self.taken_down_at
+
+    def take_down(self, now: int) -> None:
+        if now < self.created_at:
+            raise ValueError("cannot take a page down before it exists")
+        if self.taken_down_at is None:
+            self.taken_down_at = now
+
+    def capture(self, credential: Credential) -> None:
+        """Record a submitted credential (the page's dropbox)."""
+        self.harvested.append(credential)
+
+    def lifetime(self, now: int) -> int:
+        """Minutes the page has been (or was) reachable."""
+        end = self.taken_down_at if self.taken_down_at is not None else now
+        return max(0, end - self.created_at)
+
+
+def sample_page_quality(rng: random.Random) -> float:
+    """Quality mix producing Figure 5's conversion spread.
+
+    A minority of pages are convincingly executed (quality near 1), most
+    are mediocre, and a tail is 'only a form asking for a username and
+    password' (quality near the floor).  Beta(2.2, 4.4) over [0.07, 1.0]
+    lands the *measured* POST/GET mix near the paper's 13.7% mean once
+    combined with per-victim gullibility.
+    """
+    return 0.07 + rng.betavariate(2.2, 4.4) * 0.93

@@ -1,0 +1,18 @@
+"""Hijacking remediation (Section 6): recovery claims, verification
+channels and their success models (Figure 10), the latency pipeline
+(Figure 9), and remission of hijacker changes (Section 6.4)."""
+
+from repro.recovery.channels import ChannelModel, ChannelAttempt
+from repro.recovery.claims import RemediationEngine, RecoveryCase
+from repro.recovery.latency import recovery_latencies, latency_cdf
+from repro.recovery.remission import RemissionService
+
+__all__ = [
+    "ChannelModel",
+    "ChannelAttempt",
+    "RemediationEngine",
+    "RecoveryCase",
+    "recovery_latencies",
+    "latency_cdf",
+    "RemissionService",
+]

@@ -1,0 +1,123 @@
+"""Recovery verification channels and their success models — Section 6.3.
+
+The paper measures per-method success over a full month of claims
+(Figure 10): SMS 80.91%, secondary email 74.57%, fallback (secret
+questions / knowledge tests / manual review) 14.20%.  Each model below
+*composes* its failure sources the way the paper describes them —
+SMS gateway unreliability and confused users; mistyped/bounced/
+out-of-date recovery addresses; poor recall and adversarial guessing for
+knowledge-based options — so the measured rates are a product of parts,
+each testable on its own.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.world.accounts import Account
+
+#: Countries with flaky SMS gateways (failure source one of Section 6.3).
+_FLAKY_SMS_COUNTRIES = frozenset(("NG", "CI", "ML", "AF", "VE"))
+
+
+@dataclass(frozen=True)
+class ChannelAttempt:
+    """One verification attempt and why it ended the way it did."""
+
+    method: str
+    succeeded: bool
+    failure_reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.succeeded and self.failure_reason is not None:
+            raise ValueError("successful attempts carry no failure reason")
+
+
+@dataclass
+class ChannelModel:
+    """Success models for the three recovery channels."""
+
+    rng: random.Random
+    # SMS components (compose to ~81%: 0.91 × 0.90 ≈ 0.82)
+    sms_gateway_reliability: float = 0.91
+    sms_gateway_reliability_flaky: float = 0.70
+    sms_user_completes: float = 0.90
+    # Email components (compose to ~75%: 0.95 × 0.88 × 0.90 ≈ 0.75)
+    email_mistype_bounce_rate: float = 0.05
+    email_stale_rate: float = 0.12
+    email_user_clicks: float = 0.90
+    # Fallback components: each path is independently weak (≈14% overall).
+    secret_question_recall: float = 0.15
+    knowledge_test_pass: float = 0.13
+    manual_review_grant: float = 0.12
+
+    def attempt(self, account: Account, method: str) -> ChannelAttempt:
+        """Run one verification attempt for the rightful owner."""
+        if method == "sms":
+            return self._attempt_sms(account)
+        if method == "email":
+            return self._attempt_email(account)
+        if method == "fallback":
+            return self._attempt_fallback(account)
+        raise ValueError(f"unknown recovery method {method!r}")
+
+    def offered_methods(self, account: Account) -> Tuple[str, ...]:
+        """What the risk analysis lets this account use.
+
+        A secondary email with any recycling indication is *not* offered
+        — returning the account to an impostor is worse than friction.
+        """
+        offered = []
+        if account.recovery.phone is not None:
+            offered.append("sms")
+        if (account.recovery.secondary_email is not None
+                and not account.recovery.secondary_email_recycled):
+            offered.append("email")
+        offered.append("fallback")
+        return tuple(offered)
+
+    def _attempt_sms(self, account: Account) -> ChannelAttempt:
+        if account.recovery.phone is None:
+            return ChannelAttempt("sms", False, "no_phone_on_file")
+        reliability = (
+            self.sms_gateway_reliability_flaky
+            if account.owner.country in _FLAKY_SMS_COUNTRIES
+            else self.sms_gateway_reliability
+        )
+        if self.rng.random() >= reliability:
+            return ChannelAttempt("sms", False, "gateway_failure")
+        if self.rng.random() >= self.sms_user_completes:
+            return ChannelAttempt("sms", False, "user_confused")
+        return ChannelAttempt("sms", True)
+
+    def _attempt_email(self, account: Account) -> ChannelAttempt:
+        if account.recovery.secondary_email is None:
+            return ChannelAttempt("email", False, "no_secondary_email")
+        if account.recovery.secondary_email_recycled:
+            return ChannelAttempt("email", False, "address_recycled")
+        if self.rng.random() < self.email_mistype_bounce_rate:
+            return ChannelAttempt("email", False, "bounced")
+        if self.rng.random() < self.email_stale_rate:
+            return ChannelAttempt("email", False, "address_stale")
+        if self.rng.random() >= self.email_user_clicks:
+            return ChannelAttempt("email", False, "link_unused")
+        return ChannelAttempt("email", True)
+
+    def _attempt_fallback(self, account: Account) -> ChannelAttempt:
+        """One fallback attempt uses the single best mechanism available:
+        secret question if one is on file, otherwise a knowledge test,
+        with manual review as the last resort.  All three are weak —
+        poor user recall, guessable answers, strict review thresholds —
+        which is why the paper pushed users off them."""
+        if account.recovery.has_secret_question:
+            passed = self.rng.random() < self.secret_question_recall
+            reason = None if passed else "secret_question_failed"
+        elif self.rng.random() < 0.7:
+            passed = self.rng.random() < self.knowledge_test_pass
+            reason = None if passed else "knowledge_test_failed"
+        else:
+            passed = self.rng.random() < self.manual_review_grant
+            reason = None if passed else "manual_review_denied"
+        return ChannelAttempt("fallback", passed, reason)

@@ -1,0 +1,151 @@
+"""The remediation engine: from hijack flag to restored ownership.
+
+Section 6.1: recovery "typically starts when the user realizes that his
+account is not accessible and submits an account recovery claim", with
+proactive notifications explaining the fastest cases.  The engine tracks
+each victim's case: when the provider's risk analysis flagged the
+hijacking, when the (possibly notified) victim started the claim, which
+channels were tried in which order, and when exclusive control returned
+to the owner — everything Figures 9 and 10 are computed from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.defense.notifications import NotificationService
+from repro.logs.events import HijackFlagEvent, RecoveryClaimEvent
+from repro.logs.store import LogStore
+from repro.recovery.channels import ChannelAttempt, ChannelModel
+from repro.recovery.remission import RemissionService
+from repro.util.clock import HOUR
+from repro.world.accounts import Account
+from repro.world.population import generate_password
+
+
+@dataclass
+class RecoveryCase:
+    """One victim's remediation record."""
+
+    account_id: str
+    hijack_flagged_at: int
+    claim_started_at: Optional[int] = None
+    attempts: List[ChannelAttempt] = field(default_factory=list)
+    recovered_at: Optional[int] = None
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_at is not None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Flag→claim-start latency, the Figure 9 quantity."""
+        if self.claim_started_at is None:
+            return None
+        return self.claim_started_at - self.hijack_flagged_at
+
+
+@dataclass
+class RemediationEngine:
+    """Runs recovery cases to completion."""
+
+    rng: random.Random
+    store: LogStore
+    channels: ChannelModel
+    notifications: NotificationService
+    remission: RemissionService
+    #: Users favor email over SMS when both are offered (Section 6.3:
+    #: "Email is our most popular account recovery option").
+    email_preference: float = 0.55
+    cases: List[RecoveryCase] = field(default_factory=list)
+
+    def open_case(self, account: Account, hijack_flagged_at: int,
+                  victim_notified: bool) -> Optional[RecoveryCase]:
+        """Open a case when a hijack is flagged.
+
+        Returns None for the victims who never file a claim (inactive
+        users who don't notice for the whole window).
+        """
+        reaction = self.notifications.victim_reaction_delay(
+            account, victim_notified, hijack_flagged_at,
+        )
+        if reaction is None:
+            return None
+        case = RecoveryCase(
+            account_id=account.account_id,
+            hijack_flagged_at=hijack_flagged_at,
+            claim_started_at=hijack_flagged_at + reaction,
+        )
+        self.cases.append(case)
+        return case
+
+    def run_case(self, case: RecoveryCase, account: Account) -> RecoveryCase:
+        """Work the claim: try channels until one verifies or all fail."""
+        assert case.claim_started_at is not None
+        cursor = case.claim_started_at
+        for method in self._method_order(account):
+            attempt = self.channels.attempt(account, method)
+            case.attempts.append(attempt)
+            completed_at = cursor + self.rng.randrange(2, 30)
+            self.store.append(RecoveryClaimEvent(
+                timestamp=cursor,
+                account_id=account.account_id,
+                method=method,
+                succeeded=attempt.succeeded,
+                hijack_flagged_at=case.hijack_flagged_at,
+                completed_at=completed_at,
+            ))
+            cursor = completed_at
+            if attempt.succeeded:
+                self._restore(account, case, cursor)
+                return case
+            # A failed channel sends the user away to retry later.
+            cursor += self.rng.randrange(1 * HOUR, 8 * HOUR)
+        return case
+
+    def flag_if_unflagged(self, account: Account, at: int) -> int:
+        """Ensure a hijack flag exists; user claims can arrive first.
+
+        Returns the effective flag time (earliest known).
+        """
+        flags = self.store.query(
+            HijackFlagEvent,
+            where=lambda e: e.account_id == account.account_id,
+        )
+        if flags:
+            return flags[0].timestamp
+        self.store.append(HijackFlagEvent(
+            timestamp=at, account_id=account.account_id, source="user_claim",
+        ))
+        return at
+
+    def _method_order(self, account: Account) -> List[str]:
+        offered = list(self.channels.offered_methods(account))
+        if "email" in offered and "sms" in offered:
+            if self.rng.random() < self.email_preference:
+                offered.remove("email")
+                offered.insert(0, "email")
+            else:
+                offered.remove("sms")
+                offered.insert(0, "sms")
+        return offered
+
+    def _restore(self, account: Account, case: RecoveryCase, now: int) -> None:
+        """Ownership verified: reset credentials, reactivate, remit."""
+        account.set_password(generate_password(self.rng), by_hijacker=False, now=now)
+        account.restore_to_owner(now)
+        account.reactivate(now)
+        case.recovered_at = now
+        self.remission.remit(account, now)
+
+    # -- aggregates ------------------------------------------------------------
+
+    def recovered_cases(self) -> List[RecoveryCase]:
+        return [case for case in self.cases if case.recovered]
+
+    def recovery_rate(self) -> float:
+        if not self.cases:
+            return 0.0
+        return len(self.recovered_cases()) / len(self.cases)

@@ -1,0 +1,21 @@
+"""Scam content: the schemes manual hijackers run against a victim's
+contacts (Section 5.3), the psychological principles the paper distills,
+a semi-personalizing generator, and a scam/phishing text classifier used
+by the dataset-curation steps."""
+
+from repro.scams.corpus import ScamScheme, SCHEMES, scheme_by_name
+from repro.scams.principles import Principle, principles_present
+from repro.scams.generator import ScamGenerator, ScamMessage
+from repro.scams.classifier import MessageCategory, classify_text
+
+__all__ = [
+    "ScamScheme",
+    "SCHEMES",
+    "scheme_by_name",
+    "Principle",
+    "principles_present",
+    "ScamGenerator",
+    "ScamMessage",
+    "MessageCategory",
+    "classify_text",
+]

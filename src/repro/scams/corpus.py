@@ -1,0 +1,144 @@
+"""The scam-scheme corpus.
+
+Each scheme is a parameterized story template.  The two excerpts the
+paper quotes — Mugged-In-"City" and the sick-relative plea — anchor the
+corpus; the rest are variants "with different stories that appeal to the
+same human emotions and exploit the same psychological principles"
+(Section 5.3).  Every template, once filled, exhibits all five
+:class:`repro.scams.principles.Principle`s (enforced by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.scams.principles import Principle
+
+
+@dataclass(frozen=True)
+class ScamScheme:
+    """A reusable scam story.
+
+    ``subject_template`` / ``body_template`` use ``str.format`` fields:
+    ``victim_name`` (the hijacked account's owner, whose identity the
+    scam borrows), ``city``, ``country``, ``relative``, ``amount``.
+    ``keywords`` are the searchable tokens delivered copies carry.
+    """
+
+    name: str
+    subject_template: str
+    body_template: str
+    keywords: Tuple[str, ...]
+    principles: Tuple[Principle, ...] = tuple(Principle)
+    languages: Tuple[str, ...] = ("en",)
+
+    def fill(self, victim_name: str, city: str = "West Midlands",
+             country: str = "UK", relative: str = "cousin",
+             amount: int = 1850) -> Tuple[str, str]:
+        """Render (subject, body) for a concrete victim and locale."""
+        values: Dict[str, object] = {
+            "victim_name": victim_name,
+            "city": city,
+            "country": country,
+            "relative": relative,
+            "amount": amount,
+        }
+        return (
+            self.subject_template.format(**values),
+            self.body_template.format(**values),
+        )
+
+
+MUGGED_IN_CITY = ScamScheme(
+    name="mugged_in_city",
+    subject_template="Terrible situation in {city}... please help",
+    body_template=(
+        "My family and I came down here to {city}, {country} for a short "
+        "vacation. We were mugged last night in an alley by a gang of thugs "
+        "on our way back from shopping, one of them had a knife poking my "
+        "neck for almost two minutes and everything we had on us including "
+        "my cell phone, credit cards were all stolen, quite honestly it was "
+        "beyond a dreadful experience. I'm urgently in need of some money "
+        "to pay for my hotel bills and my flight ticket home, will payback "
+        "as soon as i get back home. Please wire the money (${amount}) via "
+        "Western Union to {victim_name}, you can pick it up details from "
+        "me by reply — my phone was stolen so email is the only way to "
+        "reach me."
+    ),
+    keywords=("western union", "mugged", "urgent", "loan", "help me"),
+)
+
+SICK_RELATIVE = ScamScheme(
+    name="sick_relative",
+    subject_template="Sorry to bother you with this",
+    body_template=(
+        "Sorry to bother you with this. I am presently in {country} with "
+        "my ill {relative}. She's suffering from a kidney disease and must "
+        "undergo Kidney Transplant to save her life. The hospital bill is "
+        "${amount} and my cell phone can't be reached here, so email is "
+        "the only way to reach me. Could you send a temporary emergency "
+        "loan via MoneyGram to {victim_name}? I will repay the moment we "
+        "are back home."
+    ),
+    keywords=("moneygram", "hospital", "urgent", "transfer", "help me"),
+)
+
+STRANDED_AIRPORT = ScamScheme(
+    name="stranded_airport",
+    subject_template="Stuck at the airport in {city}",
+    body_template=(
+        "I hate to ask, but I'm stranded at the airport in {city}, "
+        "{country}. Customs held my bags and my wallet with everything in "
+        "it — quite honestly it was beyond a dreadful experience, and my "
+        "cell phone was stolen in the taxi. I need ${amount} for the fees "
+        "and a flight ticket home; will pay back the day I land. The "
+        "fastest safe way is a Western Union money transfer to "
+        "{victim_name} — I can pick it up with my passport."
+    ),
+    keywords=("western union", "stranded", "airport", "urgent", "loan"),
+)
+
+ARRESTED_ABROAD = ScamScheme(
+    name="arrested_abroad",
+    subject_template="Please keep this between us",
+    body_template=(
+        "I'm desperate and you are the only person I can ask. There was a "
+        "misunderstanding at the border near {city} and the embassy says a "
+        "fine of ${amount} must be paid today. My phone was stolen at the "
+        "station so please don't try to call. If you can do a MoneyGram "
+        "money transfer to {victim_name} I promise to repay as soon as i "
+        "get back — this is a temporary emergency loan, nothing more."
+    ),
+    keywords=("moneygram", "embassy", "fine", "urgent", "loan"),
+)
+
+HOTEL_BILL = ScamScheme(
+    name="hotel_bill",
+    subject_template="Embarrassing favour to ask",
+    body_template=(
+        "Sorry to bother you — we came to {city} for a conference and the "
+        "hotel bill came to far more than booked; they are holding our "
+        "passports until it's settled. Quite honestly a dreadful "
+        "experience. My cell phone was stolen at checkout so email is the "
+        "only way to reach me. Could you wire the money — ${amount} — by "
+        "Western Union to {victim_name}? Will payback as soon as i get "
+        "back Monday."
+    ),
+    keywords=("western union", "hotel", "urgent", "loan", "help me"),
+)
+
+#: All schemes, keyed by name, in a stable order.
+SCHEMES: Tuple[ScamScheme, ...] = (
+    MUGGED_IN_CITY, SICK_RELATIVE, STRANDED_AIRPORT, ARRESTED_ABROAD, HOTEL_BILL,
+)
+
+_BY_NAME = {scheme.name: scheme for scheme in SCHEMES}
+
+
+def scheme_by_name(name: str) -> ScamScheme:
+    """Lookup a scheme; raises KeyError with the known names on miss."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown scheme {name!r}; known: {sorted(_BY_NAME)}") from None

@@ -1,0 +1,90 @@
+"""Semi-personalized scam generation.
+
+Section 5.3: scams "take into account the victim gender and location,
+appeal to human emotions, and systematically exploit known psychological
+principles".  The generator picks a scheme, localizes the story to a city
+far from the victim's country (the plea must be a *trip*), and borrows
+the hijacked owner's name — the identity the contacts will recognize.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.scams.corpus import SCHEMES, ScamScheme
+
+#: Faraway-trip destinations by story flavor (city, country).
+_DESTINATIONS = (
+    ("West Midlands", "UK"),
+    ("Manila", "Philippines"),
+    ("Madrid", "Spain"),
+    ("Limassol", "Cyprus"),
+    ("Kuala Lumpur", "Malaysia"),
+    ("Lagos", "Nigeria"),
+    ("Istanbul", "Turkey"),
+)
+
+_RELATIVES = ("cousin", "aunt", "sister", "mother-in-law", "niece")
+
+
+@dataclass(frozen=True)
+class ScamMessage:
+    """A rendered scam ready to send."""
+
+    scheme_name: str
+    subject: str
+    body: str
+    keywords: Tuple[str, ...]
+    amount: int
+    customized: bool
+
+
+@dataclass
+class ScamGenerator:
+    """Renders scams for a given hijacked identity."""
+
+    rng: random.Random
+
+    def pick_scheme(self) -> ScamScheme:
+        return self.rng.choice(SCHEMES)
+
+    def generate(self, victim_name: str, victim_country: str,
+                 customized: bool = False) -> ScamMessage:
+        """Render one scam borrowing ``victim_name``'s identity.
+
+        ``customized`` marks the ~6% of low-recipient sends where the
+        hijacker invests in a more personal message (Section 5.3); we
+        model it as an extra personal opener referencing the recipient
+        relationship rather than different structure.
+        """
+        scheme = self.pick_scheme()
+        city, country = self._pick_destination(victim_country)
+        amount = self.rng.randrange(9, 40) * 50  # $450–$1950, round figures
+        subject, body = scheme.fill(
+            victim_name=victim_name,
+            city=city,
+            country=country,
+            relative=self.rng.choice(_RELATIVES),
+            amount=amount,
+        )
+        if customized:
+            body = (
+                f"I know it has been a while and I wish I was writing with "
+                f"better news. {body}"
+            )
+        return ScamMessage(
+            scheme_name=scheme.name,
+            subject=subject,
+            body=body,
+            keywords=scheme.keywords,
+            amount=amount,
+            customized=customized,
+        )
+
+    def _pick_destination(self, victim_country: str) -> Tuple[str, str]:
+        """A destination that is not the victim's home country — a local
+        'trip' would be too easy for contacts to check."""
+        candidates = [d for d in _DESTINATIONS if d[1].upper() != victim_country.upper()]
+        return self.rng.choice(candidates or list(_DESTINATIONS))

@@ -1,0 +1,18 @@
+"""Low-level utilities: deterministic RNG streams, the simulated clock,
+distribution samplers, id minting, and ASCII rendering."""
+
+from repro.util.clock import MINUTE, HOUR, DAY, WEEK, SimClock, format_time
+from repro.util.ids import IdMinter
+from repro.util.rng import RngRegistry, child_seed
+
+__all__ = [
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "SimClock",
+    "format_time",
+    "IdMinter",
+    "RngRegistry",
+    "child_seed",
+]

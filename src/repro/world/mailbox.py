@@ -1,0 +1,178 @@
+"""Mailboxes: folders, filters, deletion/restore, and snapshots.
+
+The mailbox is the battleground of Section 5: hijackers search it to
+assess value, read Starred/Drafts/Sent, install forwarding filters to act
+in the shadow, and mass-delete content to slow the victim down.  The
+remission phase (Section 6.4) restores it from a snapshot, so snapshotting
+is a first-class operation here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.email_addr import EmailAddress
+from repro.world.messages import EmailMessage, Folder
+
+
+@dataclass(frozen=True)
+class MailFilter:
+    """A hijacker- or user-created mail filter.
+
+    ``forward_to`` implements the forwarding rules of Section 5.4 (15% of
+    2012 hijack cases); ``move_to`` implements reply-hiding (divert to
+    Trash/Spam).  ``match_sender_domain`` scopes the filter.
+    """
+
+    filter_id: str
+    created_at: int
+    created_by_hijacker: bool
+    match_sender_domain: Optional[str] = None
+    forward_to: Optional[EmailAddress] = None
+    move_to: Optional[Folder] = None
+
+    def applies_to(self, message: EmailMessage) -> bool:
+        if self.match_sender_domain is None:
+            return True
+        return message.sender.domain == self.match_sender_domain
+
+
+@dataclass
+class MailboxSnapshot:
+    """Frozen mailbox state used by remission to undo hijacker changes."""
+
+    taken_at: int
+    message_states: Dict[str, Tuple[Folder, bool, bool]]  # id -> (folder, starred, deleted)
+    filter_ids: Tuple[str, ...]
+
+
+class Mailbox:
+    """All messages and filters of one account."""
+
+    def __init__(self, owner: EmailAddress):
+        self.owner = owner
+        self._messages: Dict[str, EmailMessage] = {}
+        self._order: List[str] = []          # insertion order = arrival order
+        self.filters: List[MailFilter] = []
+        #: Callback invoked when a filter forwards a message elsewhere.
+        self.on_forward: Optional[Callable[[EmailMessage, EmailAddress], None]] = None
+
+    # -- message lifecycle -------------------------------------------------
+
+    def deliver(self, message: EmailMessage, folder: Folder = Folder.INBOX) -> None:
+        """File an arriving message, applying filters in creation order."""
+        if message.message_id in self._messages:
+            raise ValueError(f"duplicate delivery of {message.message_id}")
+        message.folder = folder
+        for mail_filter in self.filters:
+            if not mail_filter.applies_to(message):
+                continue
+            if mail_filter.move_to is not None:
+                message.folder = mail_filter.move_to
+            if mail_filter.forward_to is not None and self.on_forward is not None:
+                self.on_forward(message, mail_filter.forward_to)
+        self._messages[message.message_id] = message
+        self._order.append(message.message_id)
+
+    def file_sent(self, message: EmailMessage) -> None:
+        """Record an outgoing message in Sent Mail."""
+        self.deliver(message, folder=Folder.SENT)
+
+    def get(self, message_id: str) -> EmailMessage:
+        return self._messages[message_id]
+
+    def delete(self, message_id: str) -> None:
+        """Soft-delete: recoverable by remission until purged."""
+        self._messages[message_id].deleted = True
+
+    def restore(self, message_id: str) -> None:
+        self._messages[message_id].deleted = False
+
+    def delete_all(self) -> int:
+        """Mass deletion (the 2011-era retention tactic). Returns count."""
+        count = 0
+        for message in self._messages.values():
+            if not message.deleted:
+                message.deleted = True
+                count += 1
+        return count
+
+    # -- views ---------------------------------------------------------------
+
+    def messages(self, folder: Optional[Folder] = None,
+                 include_deleted: bool = False) -> List[EmailMessage]:
+        """Messages in arrival order, optionally restricted to a folder."""
+        result = []
+        for message_id in self._order:
+            message = self._messages[message_id]
+            if message.deleted and not include_deleted:
+                continue
+            if folder is not None and message.folder is not folder:
+                continue
+            result.append(message)
+        return result
+
+    def starred(self) -> List[EmailMessage]:
+        return [m for m in self.messages() if m.starred]
+
+    def search(self, query: str) -> List[EmailMessage]:
+        """Full-mailbox search (the feature hijackers abuse, Section 5.2)."""
+        return [m for m in self.messages() if m.matches(query)]
+
+    def contact_addresses(self) -> List[EmailAddress]:
+        """Distinct correspondents, the hijacker's next victim list."""
+        seen = {}
+        for message in self.messages(include_deleted=True):
+            for address in (message.sender,) + message.recipients:
+                if address != self.owner:
+                    seen.setdefault(str(address), address)
+        return [seen[key] for key in sorted(seen)]
+
+    def __len__(self) -> int:
+        return sum(1 for m in self._messages.values() if not m.deleted)
+
+    # -- filters ---------------------------------------------------------------
+
+    def add_filter(self, mail_filter: MailFilter) -> None:
+        self.filters.append(mail_filter)
+
+    def remove_hijacker_filters(self) -> int:
+        """Drop filters created by a hijacker (remission). Returns count."""
+        before = len(self.filters)
+        self.filters = [f for f in self.filters if not f.created_by_hijacker]
+        return before - len(self.filters)
+
+    def has_hijacker_filter(self) -> bool:
+        return any(f.created_by_hijacker for f in self.filters)
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self, now: int) -> MailboxSnapshot:
+        """Capture placement state for later remission."""
+        return MailboxSnapshot(
+            taken_at=now,
+            message_states={
+                message_id: (message.folder, message.starred, message.deleted)
+                for message_id, message in self._messages.items()
+            },
+            filter_ids=tuple(f.filter_id for f in self.filters),
+        )
+
+    def restore_from(self, snapshot: MailboxSnapshot) -> int:
+        """Revert placement of snapshotted messages; returns how many
+        messages changed.  Messages that arrived after the snapshot are
+        left alone (they may be legitimate mail)."""
+        changed = 0
+        for message_id, (folder, starred, deleted) in snapshot.message_states.items():
+            message = self._messages.get(message_id)
+            if message is None:
+                continue
+            if (message.folder, message.starred, message.deleted) != (folder, starred, deleted):
+                message.folder = folder
+                message.starred = starred
+                message.deleted = deleted
+                changed += 1
+        snapshot_filters = set(snapshot.filter_ids)
+        self.filters = [f for f in self.filters if f.filter_id in snapshot_filters]
+        return changed

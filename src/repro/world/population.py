@@ -1,0 +1,323 @@
+"""Population builder: users, accounts, mailbox history, contact graph,
+and the external (non-provider) victim pool.
+
+Two populations matter to the study:
+
+* **Provider users** — accounts at the primary provider whose logs the
+  measurement pipeline mines (the "Google users" of the paper).
+* **External victims** — addresses at other providers and self-hosted
+  ``.edu`` domains.  Phishing campaigns spray both; Figure 4's finding
+  that >99% of phished addresses are ``.edu`` emerges from the far weaker
+  commodity spam filtering in front of self-hosted mail (Section 4.2's
+  explanation, calibrated to Kanich et al.'s 10× delivery-rate gap).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net import domains
+from repro.net.email_addr import EmailAddress, generate_address, generate_username
+from repro.net.phones import PhoneNumberPlan
+from repro.util.clock import DAY
+from repro.util.ids import IdMinter
+from repro.util.rng import RngRegistry
+from repro.world.accounts import Account, RecoveryOptions
+from repro.world.contacts import ContactGraph, build_small_world
+from repro.world.mailbox import Mailbox
+from repro.world.messages import EmailMessage, Folder, MessageKind
+from repro.world.users import (
+    User,
+    language_of_country,
+    sample_activity,
+    sample_gullibility,
+    sample_home_country,
+    sample_traits,
+)
+
+_PASSWORD_WORDS = (
+    "sunshine", "dragon", "monkey", "shadow", "winter", "coffee", "guitar",
+    "purple", "silver", "rocket", "tiger", "ocean", "maple", "falcon",
+)
+
+_ORGANIC_SUBJECTS = (
+    "lunch tomorrow?", "re: weekend plans", "photos from the trip",
+    "meeting notes", "quick question", "re: project update",
+    "happy birthday!", "recipe you asked for", "re: re: carpool",
+)
+
+_FINANCIAL_KEYWORDS_BY_LANGUAGE = {
+    "en": ("wire transfer", "bank transfer", "bank statement", "investment",
+           "account statement", "wire"),
+    "es": ("transferencia", "banco", "wire transfer", "bank transfer"),
+    "fr": ("virement", "banque", "transfer", "bank transfer"),
+    "de": ("bank", "transfer", "wire transfer"),
+    "pt": ("banco", "transferencia", "transfer"),
+    "zh": ("账单", "bank", "wire transfer"),
+}
+
+_CREDENTIAL_KEYWORDS = (
+    "password", "amazon", "dropbox", "paypal", "match", "ftp", "facebook",
+    "skype", "username",
+)
+
+_MEDIA_KEYWORDS = ("jpg", "mov", "mp4", "3gp", "passport", "sex", "jpeg", "png", "zip")
+
+
+@dataclass
+class ExternalVictim:
+    """A phishable address outside the primary provider.
+
+    ``spam_filter_strength`` is the probability an unsolicited phishing
+    email is *blocked* before the user sees it.
+    """
+
+    address: EmailAddress
+    spam_filter_strength: float
+    gullibility: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spam_filter_strength <= 1.0:
+            raise ValueError(f"filter strength out of range: {self.spam_filter_strength}")
+
+
+@dataclass
+class PopulationConfig:
+    """Size and composition knobs for :func:`build_population`."""
+
+    n_users: int = 10_000
+    n_external_edu: int = 4_000
+    n_external_other: int = 2_000
+    mean_contacts: int = 8
+    mean_history_messages: float = 30.0
+    #: Fractions with each recovery option on file (Section 6.3 context).
+    phone_on_file_rate: float = 0.55
+    secondary_email_rate: float = 0.70
+    #: Paper: ~7% of secondary recovery emails have been recycled.
+    recycled_secondary_rate: float = 0.07
+    #: Owners who enrolled a second factor themselves (Section 8.2's
+    #: "best client-side defense").  2014-era adoption was low; the
+    #: defense ablation sweeps this.
+    owner_two_factor_adoption: float = 0.0
+    #: Block probability of commodity (.edu self-hosted) filtering vs the
+    #: primary provider vs other major mail providers.  The ~10× delivery
+    #: gap (Kanich et al., echoed in Section 4.2) is what makes Figure 4
+    #: come out overwhelmingly .edu.
+    edu_filter_strength: float = 0.30
+    provider_filter_strength: float = 0.85
+    other_provider_filter_strength: float = 0.97
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError(f"need at least one user, got {self.n_users}")
+        if self.mean_contacts % 2:
+            raise ValueError("mean_contacts must be even (ring-lattice constraint)")
+
+
+@dataclass
+class Population:
+    """Everything :mod:`repro.core.simulation` operates on."""
+
+    users: Dict[str, User]
+    accounts: Dict[str, Account]
+    contact_graph: ContactGraph
+    external_victims: List[ExternalVictim]
+    account_by_address: Dict[str, Account] = field(default_factory=dict)
+    account_by_user: Dict[str, Account] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.account_by_address:
+            self.account_by_address = {
+                str(account.address): account for account in self.accounts.values()
+            }
+        if not self.account_by_user:
+            self.account_by_user = {
+                account.owner.user_id: account for account in self.accounts.values()
+            }
+
+    def lookup_address(self, address: EmailAddress) -> Optional[Account]:
+        return self.account_by_address.get(str(address))
+
+    def account_of_user(self, user_id: str) -> Account:
+        return self.account_by_user[user_id]
+
+    def contacts_of_account(self, account: Account) -> List[Account]:
+        return [
+            self.account_of_user(user_id)
+            for user_id in self.contact_graph.contacts_of(account.owner.user_id)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.accounts)
+
+
+def generate_password(rng: random.Random) -> str:
+    """A realistic weak password: word + 2–4 digits."""
+    word = rng.choice(_PASSWORD_WORDS)
+    return f"{word}{rng.randrange(10, 10_000)}"
+
+
+def build_population(config: PopulationConfig, rngs: RngRegistry,
+                     minter: IdMinter, phone_plan: PhoneNumberPlan) -> Population:
+    """Construct the full simulated population.
+
+    Deterministic for a fixed (config, master seed): user attributes,
+    contact graph, and mailbox histories all come from named RNG streams.
+    """
+    user_rng = rngs.stream("population.users")
+    history_rng = rngs.stream("population.history")
+    graph_rng = rngs.stream("population.graph")
+    external_rng = rngs.stream("population.external")
+
+    users: Dict[str, User] = {}
+    accounts: Dict[str, Account] = {}
+    taken_addresses: set = set()
+
+    for _ in range(config.n_users):
+        user_id = minter.mint("user")
+        country = sample_home_country(user_rng)
+        address = generate_address(user_rng, domains.PRIMARY_PROVIDER, taken_addresses)
+        taken_addresses.add(address)
+        user = User(
+            user_id=user_id,
+            name=address.username.replace(".", " ").title(),
+            country=country,
+            language=language_of_country(country),
+            activity=sample_activity(user_rng),
+            gullibility=sample_gullibility(user_rng),
+            traits=sample_traits(user_rng),
+            has_phone_on_file=user_rng.random() < config.phone_on_file_rate,
+            has_secondary_email=user_rng.random() < config.secondary_email_rate,
+        )
+        if user.has_secondary_email:
+            user.secondary_email_recycled = user_rng.random() < config.recycled_secondary_rate
+
+        recovery = RecoveryOptions(
+            phone=phone_plan.mint(country) if user.has_phone_on_file else None,
+            secondary_email=(
+                generate_address(user_rng, user_rng.choice(domains.OTHER_PROVIDERS))
+                if user.has_secondary_email else None
+            ),
+            secondary_email_recycled=user.secondary_email_recycled,
+            has_secret_question=user.has_secret_question,
+        )
+        account = Account(
+            account_id=minter.mint("acct"),
+            owner=user,
+            address=address,
+            password=generate_password(user_rng),
+            recovery=recovery,
+            mailbox=Mailbox(address),
+        )
+        if (recovery.phone is not None
+                and user_rng.random() < config.owner_two_factor_adoption):
+            account.enable_two_factor(recovery.phone, by_hijacker=False,
+                                      now=0)
+        users[user_id] = user
+        accounts[account.account_id] = account
+
+    contact_graph = build_small_world(
+        sorted(users), graph_rng, mean_degree=config.mean_contacts,
+    )
+
+    population = Population(
+        users=users,
+        accounts=accounts,
+        contact_graph=contact_graph,
+        external_victims=_build_external_pool(config, external_rng, minter),
+    )
+    _seed_mail_history(population, config, history_rng, minter)
+    return population
+
+
+def _build_external_pool(config: PopulationConfig, rng: random.Random,
+                         minter: IdMinter) -> List[ExternalVictim]:
+    victims: List[ExternalVictim] = []
+    for _ in range(config.n_external_edu):
+        domain = rng.choice(domains.EDU_DOMAINS)
+        victims.append(ExternalVictim(
+            address=EmailAddress(f"student{minter.mint('edu').split('-')[1]}", domain),
+            spam_filter_strength=config.edu_filter_strength,
+            gullibility=sample_gullibility(rng),
+        ))
+    external_domains = tuple(
+        f"mailhost.{tld}" for tld in domains.FIGURE4_TLDS if tld != "edu"
+    )
+    for _ in range(config.n_external_other):
+        domain = rng.choice(external_domains)
+        victims.append(ExternalVictim(
+            address=EmailAddress(f"user{minter.mint('ext').split('-')[1]}", domain),
+            spam_filter_strength=config.other_provider_filter_strength,
+            gullibility=sample_gullibility(rng),
+        ))
+    return victims
+
+
+def _seed_mail_history(population: Population, config: PopulationConfig,
+                       rng: random.Random, minter: IdMinter) -> None:
+    """Fill each mailbox with pre-simulation history.
+
+    History is what the hijacker's profiling phase searches: organic
+    threads with graph contacts *and* external correspondents (friends
+    at other providers, lists, colleagues).  The externals matter for
+    Section 5.3's fan-out numbers — a hijacker blasting "the contact
+    list" reaches every correspondent, not just provider users.
+    """
+    history_span = 365 * DAY
+    external_domains = domains.OTHER_PROVIDERS + ("corp-mail.example.com",)
+    for account in population.accounts.values():
+        user = account.owner
+        contacts = population.contacts_of_account(account)
+        if not contacts:
+            continue
+        n_external = rng.randrange(15, 45)
+        external_pool = [
+            EmailAddress(f"{generate_username(rng)}{rng.randrange(100)}",
+                         rng.choice(external_domains))
+            for _ in range(n_external)
+        ]
+        n_messages = max(2, int(rng.expovariate(1.0 / config.mean_history_messages)))
+        for _ in range(n_messages):
+            sent_at = rng.randrange(history_span)
+            kind, keywords = _sample_history_kind(rng, user)
+            if rng.random() < 0.45:
+                correspondent_address = rng.choice(external_pool)
+            else:
+                correspondent_address = rng.choice(contacts).address
+            incoming = rng.random() < 0.6
+            sender = correspondent_address if incoming else account.address
+            recipient = account.address if incoming else correspondent_address
+            message = EmailMessage(
+                message_id=minter.mint("msg"),
+                sender=sender,
+                recipients=(recipient,),
+                subject=rng.choice(_ORGANIC_SUBJECTS) if kind is MessageKind.ORGANIC
+                else f"re: {keywords[0]}",
+                sent_at=sent_at,
+                kind=kind,
+                keywords=keywords,
+                language=user.language,
+                starred=rng.random() < 0.08,
+                read=True,
+            )
+            account.mailbox.deliver(
+                message, folder=Folder.INBOX if incoming else Folder.SENT,
+            )
+
+
+def _sample_history_kind(rng: random.Random, user: User):
+    """Pick a message kind (and its searchable keywords) for history."""
+    traits = user.traits
+    roll = rng.random()
+    if traits.has_financial_threads and roll < 0.35:
+        pool = _FINANCIAL_KEYWORDS_BY_LANGUAGE.get(
+            user.language, _FINANCIAL_KEYWORDS_BY_LANGUAGE["en"])
+        keywords = tuple(rng.sample(pool, k=min(3, len(pool))))
+        return MessageKind.FINANCIAL, keywords
+    if traits.has_stored_credentials and roll < 0.43:
+        return MessageKind.CREDENTIAL, tuple(rng.sample(_CREDENTIAL_KEYWORDS, k=2))
+    if traits.has_personal_media and roll < 0.52:
+        return MessageKind.PERSONAL_MEDIA, tuple(rng.sample(_MEDIA_KEYWORDS, k=2))
+    return MessageKind.ORGANIC, ()

@@ -1,0 +1,154 @@
+import pytest
+
+from repro.attribution.geolocate import (
+    country_shares,
+    dominant_countries,
+    geolocate_hijack_ips,
+)
+from repro.attribution.groups import case_signature, infer_groups
+from repro.attribution.phones import hijacker_phone_countries
+from repro.logs.events import Actor, LoginEvent, SearchEvent, SettingsChangeEvent
+from repro.logs.store import LogStore
+from repro.net.geoip import build_default_internet
+from repro.net.ip import IpAllocator
+from repro.net.phones import PhoneNumber
+from repro.util.clock import HOUR
+
+
+@pytest.fixture
+def world(rng):
+    allocator = IpAllocator(rng)
+    geoip = build_default_internet(allocator)
+    return allocator, geoip
+
+
+def hijacker_login(account_id, ip, timestamp=100):
+    return LoginEvent(timestamp=timestamp, account_id=account_id, ip=ip,
+                      password_correct=True, succeeded=True,
+                      actor=Actor.MANUAL_HIJACKER)
+
+
+class TestGeolocate:
+    def test_counts_by_country(self, world):
+        allocator, geoip = world
+        store = LogStore()
+        for index in range(6):
+            store.append(hijacker_login("acct-000000",
+                                        allocator.allocate("CN")))
+        for index in range(3):
+            store.append(hijacker_login("acct-000001",
+                                        allocator.allocate("NG")))
+        counts = geolocate_hijack_ips(store, geoip,
+                                      ["acct-000000", "acct-000001"])
+        assert counts == {"CN": 6, "NG": 3}
+
+    def test_distinct_ips_counted_once(self, world):
+        allocator, geoip = world
+        store = LogStore()
+        ip = allocator.allocate("CN")
+        for timestamp in range(5):
+            store.append(hijacker_login("acct-000000", ip, timestamp))
+        counts = geolocate_hijack_ips(store, geoip, ["acct-000000"])
+        assert counts == {"CN": 1}
+
+    def test_owner_logins_excluded(self, world):
+        allocator, geoip = world
+        store = LogStore()
+        store.append(LoginEvent(
+            timestamp=1, account_id="acct-000000",
+            ip=allocator.allocate("US"), password_correct=True,
+            succeeded=True, actor=Actor.OWNER))
+        assert geolocate_hijack_ips(store, geoip, ["acct-000000"]) == {}
+
+    def test_cases_outside_sample_excluded(self, world):
+        allocator, geoip = world
+        store = LogStore()
+        store.append(hijacker_login("acct-000009", allocator.allocate("CN")))
+        assert geolocate_hijack_ips(store, geoip, ["acct-000000"]) == {}
+
+
+class TestShares:
+    def test_shares_sorted_and_normalized(self):
+        shares = country_shares({"CN": 6, "NG": 3, "ZA": 1})
+        assert shares[0] == ("CN", 0.6)
+        assert sum(share for _, share in shares) == pytest.approx(1.0)
+
+    def test_top_truncation(self):
+        shares = country_shares({"CN": 6, "NG": 3, "ZA": 1}, top=2)
+        assert len(shares) == 2
+
+    def test_dominant(self):
+        counts = {"CN": 60, "NG": 30, "ZA": 9, "US": 1}
+        assert "US" not in dominant_countries(counts, threshold=0.05)
+        assert "ZA" in dominant_countries(counts, threshold=0.05)
+
+    def test_empty(self):
+        assert country_shares({}) == []
+
+
+class TestPhones:
+    def test_two_factor_phones_attributed(self):
+        store = LogStore()
+        store.append(SettingsChangeEvent(
+            timestamp=1, account_id="acct-000000", setting="two_factor",
+            actor=Actor.MANUAL_HIJACKER,
+            phone=PhoneNumber("+2348012345678")))
+        store.append(SettingsChangeEvent(
+            timestamp=2, account_id="acct-000001", setting="two_factor",
+            actor=Actor.MANUAL_HIJACKER,
+            phone=PhoneNumber("+22512345678")))
+        assert hijacker_phone_countries(store) == {"CI": 1, "NG": 1}
+
+    def test_owner_changes_excluded(self):
+        store = LogStore()
+        store.append(SettingsChangeEvent(
+            timestamp=1, account_id="acct-000000", setting="two_factor",
+            actor=Actor.OWNER, phone=PhoneNumber("+14155551234")))
+        assert hijacker_phone_countries(store) == {}
+
+    def test_unknown_codes_bucketed(self):
+        store = LogStore()
+        store.append(SettingsChangeEvent(
+            timestamp=1, account_id="acct-000000", setting="two_factor",
+            actor=Actor.MANUAL_HIJACKER,
+            phone=PhoneNumber("+999123456789")))
+        assert hijacker_phone_countries(store) == {"??": 1}
+
+
+class TestGroupInference:
+    def test_signature_extracts_country_language_shift(self, world):
+        allocator, geoip = world
+        store = LogStore()
+        store.append(hijacker_login("acct-000000", allocator.allocate("VE"),
+                                    timestamp=15 * HOUR))
+        store.append(SearchEvent(timestamp=15 * HOUR + 2,
+                                 account_id="acct-000000",
+                                 query="transferencia",
+                                 actor=Actor.MANUAL_HIJACKER))
+        signature = case_signature(store, geoip, "acct-000000")
+        assert signature.country == "VE"
+        assert signature.language == "es"
+        assert signature.shift_bucket == 1
+
+    def test_no_logins_no_signature(self, world):
+        _allocator, geoip = world
+        assert case_signature(LogStore(), geoip, "acct-000000") is None
+
+    def test_distinct_groups_inferred(self, world):
+        """The NG and CI actors must cluster apart (Section 7's
+        different-language, 2000-km-apart argument)."""
+        allocator, geoip = world
+        store = LogStore()
+        for index in range(4):
+            store.append(hijacker_login(f"acct-00000{index}",
+                                        allocator.allocate("NG"),
+                                        timestamp=10 * HOUR))
+        for index in range(4, 8):
+            store.append(hijacker_login(f"acct-00000{index}",
+                                        allocator.allocate("CI"),
+                                        timestamp=10 * HOUR))
+        clusters = infer_groups(store, geoip,
+                                [f"acct-00000{i}" for i in range(8)])
+        assert len(clusters) == 2
+        sizes = sorted(len(cases) for cases in clusters.values())
+        assert sizes == [4, 4]

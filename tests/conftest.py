@@ -1,0 +1,74 @@
+"""Shared fixtures.
+
+Simulation runs are the expensive part of this suite, so each scenario
+result is built once per session and shared; tests must treat results as
+read-only.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Simulation
+from repro.core.scenarios import (
+    decoy_study,
+    exploitation_study,
+    recovery_study,
+    smoke_scenario,
+)
+from repro.net.ip import IpAllocator
+from repro.net.geoip import build_default_internet
+from repro.util.ids import IdMinter
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def rngs():
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def minter():
+    return IdMinter()
+
+
+@pytest.fixture
+def allocator(rng):
+    return IpAllocator(rng)
+
+
+@pytest.fixture
+def internet(allocator):
+    """(allocator, geoip) with the default per-country blocks."""
+    return allocator, build_default_internet(allocator)
+
+
+@pytest.fixture(scope="session")
+def smoke_result():
+    """A small but complete end-to-end run (every subsystem exercised)."""
+    return Simulation(smoke_scenario(seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def exploitation_result():
+    """The Section 5 workload: many incidents (a few seconds to build)."""
+    return Simulation(exploitation_study(seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def decoy_result():
+    """The Figure 7 workload: ~200 decoy credentials."""
+    return Simulation(decoy_study(seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def recovery_result():
+    """The Figures 9–10 workload: hundreds of recovery claims."""
+    return Simulation(recovery_study(seed=7)).run()

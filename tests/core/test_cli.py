@@ -1,0 +1,53 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import ARTIFACTS, SCENARIOS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scenario == "smoke"
+        assert args.artifact == "report"
+        assert args.seed == 7
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scenario", "nope"])
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--artifact", "figure99"])
+
+
+class TestRegistries:
+    def test_every_scenario_callable(self):
+        for factory in SCENARIOS.values():
+            config = factory(3)
+            assert config.seed == 3
+
+    def test_artifact_registry_covers_paper(self):
+        for name in ("report", "metrics", "table1", "table2", "table3",
+                     "figure1", "figure7", "figure12", "section5.5"):
+            assert name in ARTIFACTS
+
+
+class TestExecution:
+    def test_list_scenarios(self, capsys):
+        assert main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "exploitation" in out
+
+    def test_smoke_run_prints_artifact(self, capsys):
+        assert main(["--scenario", "smoke", "--artifact", "metrics",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "assessment" in out
+
+    def test_artifact_functions_work_on_result(self, smoke_result):
+        # Every artifact function must at least render on a live result.
+        for name, render in ARTIFACTS.items():
+            text = render(smoke_result)
+            assert isinstance(text, str) and text, name

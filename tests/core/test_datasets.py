@@ -1,0 +1,113 @@
+import pytest
+
+from repro.core.datasets import DatasetCatalog
+from repro.scams.classifier import MessageCategory, classify_text
+from repro.world.messages import MessageKind
+
+
+@pytest.fixture(scope="module")
+def catalog(exploitation_result):
+    return DatasetCatalog(exploitation_result)
+
+
+class TestCuration:
+    def test_d1_all_phishing_after_curation(self, catalog):
+        emails = catalog.d1_phishing_emails()
+        assert emails
+        for message in emails:
+            body = " ".join((message.body,) + message.keywords)
+            assert classify_text(message.subject, body) is \
+                MessageCategory.PHISHING
+
+    def test_d2_pages_from_detections(self, catalog, exploitation_result):
+        detections = catalog.d2_detected_pages()
+        assert detections
+        page_ids = {page.page_id for page in exploitation_result.pages}
+        assert all(d.page_id in page_ids for d in detections)
+
+    def test_d3_http_logs_keyed_by_forms_pages(self, catalog,
+                                               exploitation_result):
+        logs = catalog.d3_forms_http_logs()
+        assert logs
+        forms = {d.page_id for d in exploitation_result.safebrowsing.detections
+                 if d.hosting.value == "forms"}
+        assert set(logs) <= forms
+
+    def test_d5_groups_by_ip(self, catalog):
+        by_ip = catalog.d5_hijacker_ips()
+        assert by_ip
+        for ip, logins in by_ip.items():
+            assert all(str(login.ip) == ip for login in logins)
+
+    def test_d6_hijacker_searches_only(self, catalog):
+        searches = catalog.d6_hijacker_searches()
+        assert searches
+        assert all(s.actor.value == "manual_hijacker" for s in searches)
+
+    def test_d7_accounts_have_claims_and_exploitation(self, catalog,
+                                                      exploitation_result):
+        accounts = catalog.d7_hijacked_accounts()
+        assert accounts
+        exploited_ids = {
+            r.account_id for r in exploitation_result.exploited_incidents()}
+        for account in accounts:
+            assert account.account_id in exploited_ids
+
+    def test_d8_messages_from_hijack_window(self, catalog):
+        messages = catalog.d8_reported_hijack_mail()
+        # Most reported hijack-window mail is abusive.
+        if messages:
+            abusive = sum(1 for m in messages if m.kind in (
+                MessageKind.SCAM, MessageKind.PHISHING))
+            assert abusive / len(messages) > 0.5
+
+    def test_d9_cohorts_disjoint_semantics(self, catalog):
+        contacts, randoms = catalog.d9_cohorts(seed_window_days=18)
+        assert randoms
+        contact_ids = {a.account_id for a in contacts}
+        assert len(contact_ids) == len(contacts)
+
+    def test_d11_recovered_subset_of_cases(self, catalog,
+                                           exploitation_result):
+        recovered = catalog.d11_recovered_accounts()
+        case_ids = {c.account_id
+                    for c in exploitation_result.remediation.cases}
+        assert set(recovered) <= case_ids
+
+    def test_d12_claims_window(self, catalog, exploitation_result):
+        claims = catalog.d12_recovery_claims(window_days=14)
+        horizon = exploitation_result.horizon_minutes
+        for claim in claims:
+            assert claim.timestamp >= horizon - 14 * 24 * 60
+
+    def test_d13_cases_are_accessed_accounts(self, catalog,
+                                             exploitation_result):
+        cases = catalog.d13_hijack_cases()
+        accessed = {r.account_id
+                    for r in exploitation_result.access_incidents()}
+        assert set(cases) <= accessed
+
+    def test_d14_phones(self, catalog):
+        phones = catalog.d14_hijacker_phones()
+        assert phones
+        assert all(p.e164.startswith("+") for p in phones)
+
+
+class TestTable1:
+    def test_build_all_records_14_specs(self, catalog):
+        specs = catalog.build_all()
+        assert [spec.dataset_id for spec in specs] == list(range(1, 15))
+        for spec in specs:
+            assert spec.data_type
+            assert spec.used_in_section
+
+    def test_actual_never_exceeds_available(self, catalog):
+        specs = catalog.build_all()
+        by_id = {spec.dataset_id: spec for spec in specs}
+        assert by_id[7].actual <= 575
+        assert by_id[1].actual <= 100
+
+    def test_deterministic_sampling(self, exploitation_result):
+        first = DatasetCatalog(exploitation_result).d7_hijacked_accounts()
+        second = DatasetCatalog(exploitation_result).d7_hijacked_accounts()
+        assert [a.account_id for a in first] == [a.account_id for a in second]

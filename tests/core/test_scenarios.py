@@ -1,0 +1,43 @@
+from repro.core import scenarios
+from repro.hijacker.groups import Era
+
+
+class TestPresets:
+    def test_all_presets_build_valid_configs(self):
+        for factory in (
+            scenarios.default_scenario,
+            scenarios.phishing_traffic_study,
+            scenarios.decoy_study,
+            scenarios.exploitation_study,
+            scenarios.contact_lift_study,
+            scenarios.recovery_study,
+            scenarios.attribution_study,
+            scenarios.taxonomy_study,
+            scenarios.rate_calibration_study,
+            scenarios.smoke_scenario,
+        ):
+            config = factory(seed=3)
+            assert config.seed == 3
+
+    def test_retention_study_sets_era(self):
+        assert scenarios.retention_study(Era.Y2011).era is Era.Y2011
+        assert scenarios.retention_study(Era.Y2012).era is Era.Y2012
+
+    def test_decoy_study_has_decoys(self):
+        assert scenarios.decoy_study().n_decoys >= 100
+
+    def test_contact_lift_study_is_large_and_quiet(self):
+        config = scenarios.contact_lift_study()
+        assert config.n_users >= 20_000
+        assert config.campaigns_per_week <= 15
+
+    def test_taxonomy_study_includes_botnet(self):
+        assert scenarios.taxonomy_study().include_automated_baseline
+
+    def test_rate_study_low_intensity(self):
+        config = scenarios.rate_calibration_study()
+        assert config.n_users >= 50_000
+        assert config.campaigns_per_week <= 8
+
+    def test_smoke_is_small(self):
+        assert scenarios.smoke_scenario().n_users <= 2_000

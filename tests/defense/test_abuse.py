@@ -1,0 +1,85 @@
+import pytest
+
+from repro.defense.abuse import AbuseResponse
+from repro.defense.behavioral import BehavioralRiskAnalyzer
+from repro.defense.notifications import NotificationService
+from repro.logs.events import SuspensionEvent
+from repro.logs.store import LogStore
+from repro.net.email_addr import EmailAddress
+from repro.world.accounts import Account, AccountState, RecoveryOptions
+from repro.world.mailbox import Mailbox
+from repro.world.users import ActivityLevel, User
+
+
+def make_account(account_id="acct-000000"):
+    address = EmailAddress(f"owner{account_id[-2:]}", "primarymail.com")
+    user = User(user_id=f"user-{account_id[-6:]}", name="o", country="US",
+                language="en", activity=ActivityLevel.DAILY, gullibility=0.1)
+    return Account(account_id=account_id, owner=user, address=address,
+                   password="pw12345678", recovery=RecoveryOptions(),
+                   mailbox=Mailbox(address))
+
+
+@pytest.fixture
+def response(rng):
+    store = LogStore()
+    behavioral = BehavioralRiskAnalyzer(store)
+    return store, behavioral, AbuseResponse(
+        store, behavioral, NotificationService(rng, store))
+
+
+class TestSuspensionCriteria:
+    def test_behavioral_flag_triggers(self, response):
+        _store, behavioral, abuse = response
+        account = make_account()
+        behavioral.begin_session(account.account_id)
+        behavioral.note_settings_change(account.account_id, "mass_delete", 5)
+        behavioral.note_settings_change(account.account_id, "password", 6)
+        assert abuse.should_suspend(account)
+
+    def test_report_quorum_triggers(self, response):
+        _store, _behavioral, abuse = response
+        account = make_account()
+        for _ in range(abuse.report_quorum):
+            abuse.note_user_report(account.account_id)
+        assert abuse.should_suspend(account)
+
+    def test_below_quorum_does_not(self, response):
+        _store, _behavioral, abuse = response
+        account = make_account()
+        abuse.note_user_report(account.account_id)
+        assert not abuse.should_suspend(account)
+
+    def test_none_sender_ignored(self, response):
+        _store, _behavioral, abuse = response
+        abuse.note_user_report(None)  # external sender: nothing to suspend
+
+
+class TestSuspension:
+    def test_suspend_disables_and_logs(self, response):
+        store, _behavioral, abuse = response
+        account = make_account()
+        abuse.suspend(account, "user_reports", now=100)
+        assert account.state is AccountState.SUSPENDED
+        events = store.query(SuspensionEvent)
+        assert len(events) == 1
+        assert events[0].reason == "user_reports"
+
+    def test_suspend_idempotent(self, response):
+        store, _behavioral, abuse = response
+        account = make_account()
+        abuse.suspend(account, "x", now=100)
+        abuse.suspend(account, "x", now=200)
+        assert store.count(SuspensionEvent) == 1
+
+    def test_sweep(self, response):
+        _store, behavioral, abuse = response
+        flagged = make_account("acct-000001")
+        clean = make_account("acct-000002")
+        behavioral.begin_session(flagged.account_id)
+        behavioral.note_settings_change(flagged.account_id, "mass_delete", 5)
+        behavioral.note_settings_change(flagged.account_id, "password", 6)
+        suspended = abuse.sweep([flagged, clean], now=100)
+        assert suspended == 1
+        assert flagged.state is AccountState.SUSPENDED
+        assert clean.state is AccountState.ACTIVE

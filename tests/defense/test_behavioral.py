@@ -1,0 +1,78 @@
+import pytest
+
+from repro.defense.behavioral import BehavioralRiskAnalyzer
+from repro.logs.events import HijackFlagEvent
+from repro.logs.store import LogStore
+
+
+@pytest.fixture
+def analyzer():
+    return BehavioralRiskAnalyzer(LogStore())
+
+
+class TestScoring:
+    def test_playbook_search_noted(self, analyzer):
+        analyzer.begin_session("acct-000000")
+        analyzer.note_search("acct-000000", "wire transfer", now=10)
+        assert not analyzer.is_flagged("acct-000000")
+
+    def test_ordinary_search_ignored(self, analyzer):
+        analyzer.begin_session("acct-000000")
+        for index in range(50):
+            analyzer.note_search("acct-000000", "flight confirmation",
+                                 now=index)
+        assert not analyzer.is_flagged("acct-000000")
+
+    def test_full_hijacker_session_flags(self, analyzer):
+        """Searches alone don't flag; the full tactic sequence does —
+        behavioral detection fires late, as §8.2 argues."""
+        account = "acct-000000"
+        analyzer.begin_session(account)
+        for index in range(3):
+            analyzer.note_search(account, "bank transfer", now=10 + index)
+        assert not analyzer.is_flagged(account)  # still under threshold
+        analyzer.note_send(account, recipient_count=30, now=20)
+        analyzer.note_send(account, recipient_count=25, now=22)
+        analyzer.note_settings_change(account, "password", now=25)
+        assert analyzer.is_flagged(account)
+
+    def test_mass_delete_is_strong_signal(self, analyzer):
+        account = "acct-000000"
+        analyzer.begin_session(account)
+        analyzer.note_settings_change(account, "mass_delete", now=5)
+        analyzer.note_settings_change(account, "password", now=6)
+        assert analyzer.is_flagged(account)
+
+    def test_narrow_sends_ignored(self, analyzer):
+        analyzer.begin_session("acct-000000")
+        for index in range(20):
+            analyzer.note_send("acct-000000", recipient_count=2, now=index)
+        assert not analyzer.is_flagged("acct-000000")
+
+
+class TestFlags:
+    def test_flag_event_emitted_once(self):
+        store = LogStore()
+        analyzer = BehavioralRiskAnalyzer(store, flag_threshold=0.5)
+        analyzer.begin_session("acct-000000")
+        analyzer.note_settings_change("acct-000000", "mass_delete", now=5)
+        analyzer.note_settings_change("acct-000000", "mass_delete", now=6)
+        flags = store.query(HijackFlagEvent)
+        assert len(flags) == 1
+        assert flags[0].source == "behavioral"
+        assert analyzer.flagged_at("acct-000000") == 5
+
+    def test_begin_session_resets_score(self, analyzer):
+        account = "acct-000000"
+        analyzer.begin_session(account)
+        for index in range(3):
+            analyzer.note_search(account, "wire transfer", now=index)
+        analyzer.begin_session(account)  # owner logs in later
+        analyzer.note_send(account, recipient_count=30, now=50)
+        assert not analyzer.is_flagged(account)
+
+    def test_flags_listing(self, analyzer):
+        analyzer.begin_session("b")
+        analyzer.note_settings_change("b", "mass_delete", now=1)
+        analyzer.note_settings_change("b", "password", now=2)
+        assert analyzer.flags() == ("b",)

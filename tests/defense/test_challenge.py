@@ -1,0 +1,74 @@
+import pytest
+
+from repro.defense.challenge import ChallengeService
+from repro.logs.events import Actor, ChallengeEvent
+from repro.logs.store import LogStore
+from repro.net.email_addr import EmailAddress
+from repro.net.phones import PhoneNumber
+from repro.world.accounts import Account, RecoveryOptions
+from repro.world.mailbox import Mailbox
+from repro.world.users import ActivityLevel, User
+
+
+def make_account(phone=True):
+    address = EmailAddress("owner", "primarymail.com")
+    user = User(user_id="user-000000", name="o", country="US", language="en",
+                activity=ActivityLevel.DAILY, gullibility=0.1)
+    recovery = RecoveryOptions(
+        phone=PhoneNumber("+14155551234") if phone else None)
+    return Account(account_id="acct-000000", owner=user, address=address,
+                   password="pw12345678", recovery=recovery,
+                   mailbox=Mailbox(address))
+
+
+@pytest.fixture
+def service(rng):
+    return ChallengeService(rng, LogStore())
+
+
+def pass_rate(service, account, actor, n=400):
+    return sum(service.challenge(account, actor, now=i)
+               for i in range(n)) / n
+
+
+class TestSmsChallenge:
+    def test_owner_passes_mostly(self, service):
+        assert pass_rate(service, make_account(), Actor.OWNER) > 0.9
+
+    def test_hijacker_fails_mostly(self, service):
+        assert pass_rate(service, make_account(),
+                         Actor.MANUAL_HIJACKER) < 0.06
+
+    def test_events_logged(self, rng):
+        store = LogStore()
+        service = ChallengeService(rng, store)
+        service.challenge(make_account(), Actor.OWNER, now=5)
+        events = store.query(ChallengeEvent)
+        assert len(events) == 1
+        assert events[0].method == "sms"
+
+
+class TestKnowledgeChallenge:
+    def test_weaker_asymmetry(self, service):
+        account = make_account(phone=False)
+        owner = pass_rate(service, account, Actor.OWNER)
+        hijacker = pass_rate(service, account, Actor.MANUAL_HIJACKER)
+        assert 0.65 < owner < 0.85
+        assert 0.14 < hijacker < 0.32  # researchable answers
+
+    def test_method_logged_as_knowledge(self, rng):
+        store = LogStore()
+        service = ChallengeService(rng, store)
+        service.challenge(make_account(phone=False), Actor.OWNER, now=5)
+        assert store.query(ChallengeEvent)[0].method == "knowledge"
+
+
+class TestHijackerPhoneLockout:
+    def test_roles_invert(self, service):
+        """Once the hijacker enrolls their own phone, *they* pass the
+        SMS challenge and the owner is locked out."""
+        account = make_account()
+        account.enable_two_factor(PhoneNumber("+2348012345678"),
+                                  by_hijacker=True, now=0)
+        assert pass_rate(service, account, Actor.MANUAL_HIJACKER) > 0.9
+        assert pass_rate(service, account, Actor.OWNER) < 0.06

@@ -1,0 +1,93 @@
+import pytest
+
+from repro.defense.notifications import CRITICAL_TRIGGERS, NotificationService
+from repro.logs.events import NotificationEvent
+from repro.logs.store import LogStore
+from repro.net.email_addr import EmailAddress
+from repro.net.phones import PhoneNumber
+from repro.world.accounts import Account, RecoveryOptions
+from repro.world.mailbox import Mailbox
+from repro.world.users import ActivityLevel, User
+
+
+def make_account(phone=True, secondary=True, recycled=False,
+                 activity=ActivityLevel.DAILY):
+    address = EmailAddress("owner", "primarymail.com")
+    user = User(user_id="user-000000", name="o", country="US", language="en",
+                activity=activity, gullibility=0.1)
+    recovery = RecoveryOptions(
+        phone=PhoneNumber("+14155551234") if phone else None,
+        secondary_email=EmailAddress("me", "inboxly.net") if secondary else None,
+        secondary_email_recycled=recycled,
+    )
+    return Account(account_id="acct-000000", owner=user, address=address,
+                   password="pw12345678", recovery=recovery,
+                   mailbox=Mailbox(address))
+
+
+@pytest.fixture
+def service(rng):
+    store = LogStore()
+    return store, NotificationService(rng, store)
+
+
+class TestNotify:
+    def test_both_channels_used(self, service):
+        store, notifications = service
+        channels = set()
+        for index in range(100):
+            channels.update(notifications.notify(
+                make_account(), "password_change", now=index))
+        assert channels == {"sms", "secondary_email"}
+        assert store.count(NotificationEvent) > 100
+
+    def test_no_channels_no_events(self, service):
+        store, notifications = service
+        delivered = notifications.notify(
+            make_account(phone=False, secondary=False),
+            "password_change", now=5)
+        assert delivered == []
+        assert store.count(NotificationEvent) == 0
+
+    def test_recycled_secondary_skipped(self, service):
+        _store, notifications = service
+        for index in range(60):
+            delivered = notifications.notify(
+                make_account(phone=False, recycled=True),
+                "recovery_change", now=index)
+            assert "secondary_email" not in delivered
+
+    def test_non_critical_trigger_rejected(self, service):
+        _store, notifications = service
+        with pytest.raises(ValueError):
+            notifications.notify(make_account(), "new_follower", now=5)
+
+    def test_critical_trigger_list_small(self):
+        assert len(CRITICAL_TRIGGERS) <= 6  # notification volume stays low
+
+
+class TestReaction:
+    def test_notified_victims_react_fast(self, service):
+        _store, notifications = service
+        account = make_account()
+        delays = [notifications.victim_reaction_delay(account, True, now=0)
+                  for _ in range(500)]
+        assert all(d is not None for d in delays)
+        within_day = sum(1 for d in delays if d <= 24 * 60) / len(delays)
+        assert within_day > 0.85
+
+    def test_unnotified_dormant_victims_slow(self, service):
+        _store, notifications = service
+        dormant = make_account(activity=ActivityLevel.OCCASIONAL)
+        delays = [notifications.victim_reaction_delay(dormant, False, now=0)
+                  for _ in range(300)]
+        observed = [d for d in delays if d is not None]
+        assert sum(observed) / len(observed) > 2 * 24 * 60
+
+    def test_some_never_react(self, service):
+        _store, notifications = service
+        account = make_account()
+        misses = sum(
+            notifications.victim_reaction_delay(account, False, now=0) is None
+            for _ in range(1000))
+        assert 20 < misses < 150

@@ -1,0 +1,129 @@
+import random
+
+import pytest
+
+from repro.defense.risk import (
+    AccountLoginProfile,
+    IpReputationTracker,
+    LoginRiskAnalyzer,
+)
+from repro.net.email_addr import EmailAddress
+from repro.net.geoip import build_default_internet
+from repro.net.ip import IpAllocator
+from repro.util.clock import DAY
+from repro.world.accounts import Account, RecoveryOptions
+from repro.world.mailbox import Mailbox
+from repro.world.users import ActivityLevel, User
+
+
+@pytest.fixture
+def setup(rng):
+    allocator = IpAllocator(rng)
+    geoip = build_default_internet(allocator)
+    analyzer = LoginRiskAnalyzer(geoip, IpReputationTracker(),
+                                 rng=random.Random(77))
+    return allocator, geoip, analyzer
+
+
+def make_account(country="US"):
+    address = EmailAddress("owner", "primarymail.com")
+    user = User(user_id="user-000000", name="o", country=country,
+                language="en", activity=ActivityLevel.DAILY, gullibility=0.1)
+    return Account(account_id="acct-000000", owner=user, address=address,
+                   password="pw12345678", recovery=RecoveryOptions(),
+                   mailbox=Mailbox(address))
+
+
+class TestProfiles:
+    def test_bootstrap_knows_home_country(self, setup):
+        _allocator, _geoip, analyzer = setup
+        profile = analyzer.profile_for(make_account("FR"))
+        assert "FR" in profile.usual_countries
+
+    def test_observe_folds_in(self, setup):
+        allocator, _geoip, analyzer = setup
+        account = make_account()
+        ip = allocator.allocate("DE")
+        analyzer.observe_success(account, ip, now=100)
+        profile = analyzer.profile_for(account)
+        assert ip in profile.seen_ips
+        assert "DE" in profile.usual_countries
+
+
+class TestScoring:
+    def test_home_ip_low_risk(self, setup):
+        allocator, _geoip, analyzer = setup
+        account = make_account("US")
+        ip = allocator.allocate("US")
+        analyzer.observe_success(account, ip, now=0)
+        for _ in range(30):
+            assert analyzer.score(account, ip, now=100) < 0.45
+
+    def test_foreign_ip_riskier(self, setup):
+        allocator, _geoip, analyzer = setup
+        account = make_account("US")
+        home = allocator.allocate("US")
+        analyzer.observe_success(account, home, now=0)
+        foreign = allocator.allocate("CN")
+        foreign_scores = [analyzer.score(account, foreign, now=100)
+                          for _ in range(50)]
+        home_scores = [analyzer.score(account, home, now=100)
+                       for _ in range(50)]
+        assert min(foreign_scores) > max(home_scores)
+
+    def test_takeover_changes_raise_score(self, setup):
+        allocator, _geoip, analyzer = setup
+        account = make_account("US")
+        foreign = allocator.allocate("CN")
+        baseline = max(analyzer.score(account, foreign, now=0)
+                       for _ in range(40))
+        account.password_changed_by_hijacker = True
+        raised = min(analyzer.score(account, foreign, now=0)
+                     for _ in range(40))
+        assert raised > baseline - 0.25  # weight visible through noise
+
+    def test_aggressiveness_scales(self, setup):
+        allocator, geoip, _analyzer = setup
+        account = make_account("US")
+        foreign = allocator.allocate("CN")
+        gentle = LoginRiskAnalyzer(geoip, IpReputationTracker(),
+                                   aggressiveness=0.5)
+        harsh = LoginRiskAnalyzer(geoip, IpReputationTracker(),
+                                  aggressiveness=2.0)
+        assert harsh.score(account, foreign, 0) > gentle.score(account, foreign, 0)
+
+    def test_score_capped(self, setup):
+        allocator, _geoip, analyzer = setup
+        analyzer.aggressiveness = 100.0
+        account = make_account("US")
+        assert analyzer.score(account, allocator.allocate("CN"), 0) <= 1.0
+
+
+class TestIpReputation:
+    def test_fanout_counted_per_day(self, setup):
+        allocator, _geoip, analyzer = setup
+        tracker = analyzer.reputation
+        ip = allocator.allocate("US")
+        for index in range(15):
+            tracker.observe(ip, f"acct-{index:06d}", now=100)
+        assert tracker.distinct_accounts_today(ip, now=100) == 15
+        assert tracker.distinct_accounts_today(ip, now=100 + DAY) == 0
+
+    def test_botnet_fanout_blows_past_block(self, setup):
+        allocator, _geoip, analyzer = setup
+        account = make_account("US")
+        ip = allocator.allocate("CN")
+        for index in range(40):
+            analyzer.reputation.observe(ip, f"acct-{index:06d}", now=0)
+        assert analyzer.score(account, ip, now=0) >= 0.93
+
+    def test_under_guideline_fanout_invisible(self, setup):
+        """≤10 accounts/IP/day adds nothing — the crews' guideline works."""
+        allocator, _geoip, analyzer = setup
+        account = make_account("US")
+        ip = allocator.allocate("CN")
+        lone = max(analyzer.score(account, ip, now=0) for _ in range(40))
+        for index in range(9):
+            analyzer.reputation.observe(ip, f"acct-{index:06d}", now=0)
+        busy = max(analyzer.score(account, ip, now=0) for _ in range(40))
+        assert abs(busy - lone) < 0.25  # only noise separates them

@@ -1,0 +1,88 @@
+"""Owner-enrolled second factors (Section 8.2's best client-side
+defense) and the app-specific-password caveat."""
+
+import pytest
+
+from repro import Simulation
+from repro.core.scenarios import smoke_scenario
+from repro.defense.challenge import ChallengeService
+from repro.logs.events import Actor
+from repro.logs.store import LogStore
+from repro.net.email_addr import EmailAddress
+from repro.net.phones import PhoneNumber
+from repro.world.accounts import Account, RecoveryOptions
+from repro.world.mailbox import Mailbox
+from repro.world.users import ActivityLevel, User
+
+
+def account_with_owner_2fa():
+    address = EmailAddress("owner", "primarymail.com")
+    user = User(user_id="user-000000", name="o", country="US", language="en",
+                activity=ActivityLevel.DAILY, gullibility=0.1)
+    phone = PhoneNumber("+14155551234")
+    account = Account(account_id="acct-000000", owner=user, address=address,
+                      password="pw12345678",
+                      recovery=RecoveryOptions(phone=phone),
+                      mailbox=Mailbox(address))
+    account.enable_two_factor(phone, by_hijacker=False, now=0)
+    return account
+
+
+class TestChallengeAsymmetry:
+    def test_owner_passes_hijacker_fails(self, rng):
+        service = ChallengeService(rng, LogStore())
+        account = account_with_owner_2fa()
+        owner = sum(service.challenge(account, Actor.OWNER, now=i)
+                    for i in range(400)) / 400
+        hijacker = sum(
+            service.challenge(account, Actor.MANUAL_HIJACKER, now=i)
+            for i in range(400)) / 400
+        assert owner > 0.9
+        # App-specific-password bypass leaks a little, but far below the
+        # phished-password baseline.
+        assert 0.03 < hijacker < 0.14
+
+
+class TestPopulationAdoption:
+    def test_adoption_rate_respected(self):
+        result = Simulation(smoke_scenario(seed=3).with_overrides(
+            owner_two_factor_adoption=0.5, horizon_days=2,
+            campaigns_per_week=0, n_decoys=0)).run()
+        with_phone = [a for a in result.population.accounts.values()
+                      if a.recovery.phone is not None]
+        enrolled = [a for a in with_phone
+                    if a.two_factor_phone is not None
+                    and not a.two_factor_enabled_by_hijacker]
+        assert 0.35 < len(enrolled) / len(with_phone) < 0.65
+
+    def test_zero_adoption_default(self):
+        result = Simulation(smoke_scenario(seed=3).with_overrides(
+            horizon_days=2, campaigns_per_week=0, n_decoys=0)).run()
+        enrolled = [a for a in result.population.accounts.values()
+                    if a.two_factor_phone is not None
+                    and not a.two_factor_enabled_by_hijacker]
+        assert enrolled == []
+
+
+class TestDefenseEffect:
+    @pytest.mark.parametrize("adoption", [0.0, 0.8])
+    def test_runs_cleanly_at_any_adoption(self, adoption):
+        result = Simulation(smoke_scenario(seed=3).with_overrides(
+            owner_two_factor_adoption=adoption)).run()
+        assert result.incidents is not None
+
+    def test_high_adoption_cuts_hijack_success(self):
+        def accessed(adoption):
+            result = Simulation(smoke_scenario(seed=3).with_overrides(
+                owner_two_factor_adoption=adoption)).run()
+            relevant = [r for r in result.incidents
+                        if r.account_id is not None]
+            if not relevant:
+                return None
+            return sum(1 for r in relevant
+                       if r.outcome.gained_access) / len(relevant)
+
+        baseline = accessed(0.0)
+        protected = accessed(0.9)
+        assert baseline is not None and protected is not None
+        assert protected < baseline

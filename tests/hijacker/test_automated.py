@@ -1,0 +1,65 @@
+import pytest
+
+from repro.hijacker.automated import AutomatedHijackingBotnet
+from repro.logs.events import Actor, MailSentEvent
+from repro.world.accounts import Credential
+
+from tests.hijacker.harness import build_harness
+
+
+@pytest.fixture(scope="module")
+def wave():
+    harness = build_harness(seed=43, n_users=200)
+    botnet = AutomatedHijackingBotnet(
+        rng=harness.rngs.stream("botnet"),
+        population=harness.population,
+        auth=harness.auth,
+        mail=harness.mail,
+        allocator=harness.driver.ip_pool.allocator,
+        accounts_per_bot=40,
+    )
+    accounts = sorted(harness.population.accounts.values(),
+                      key=lambda a: a.account_id)[:150]
+    credentials = [
+        Credential(address=account.address, password=account.password,
+                   captured_at=1000)
+        for account in accounts
+    ]
+    report = botnet.run_wave(credentials, now=2000)
+    return harness, report
+
+
+class TestBotnet:
+    def test_attempts_everything(self, wave):
+        _harness, report = wave
+        assert report.attempts == 150
+
+    def test_high_fanout_ips(self, wave):
+        """Bots ignore the blend-in guideline: few IPs, many accounts."""
+        _harness, report = wave
+        assert report.distinct_ips <= 5
+        assert report.attempts / report.distinct_ips > 30
+
+    def test_spam_sent_immediately(self, wave):
+        harness, report = wave
+        assert report.spam_messages > 0
+        spam = harness.store.query(
+            MailSentEvent,
+            where=lambda e: e.actor is Actor.AUTOMATED_HIJACKER)
+        assert len(spam) == report.spam_messages
+
+    def test_defense_catches_some(self, wave):
+        """The per-IP fan-out signal makes automated hijacking far more
+        detectable than manual — some of the wave must be stopped."""
+        _harness, report = wave
+        assert report.blocked > 0
+        assert report.compromised < report.attempts
+
+    def test_no_profiling_ever(self, wave):
+        harness, _report = wave
+        from repro.logs.events import SearchEvent
+
+        searches = harness.store.query(
+            SearchEvent,
+            where=lambda e: e.actor is Actor.AUTOMATED_HIJACKER)
+        assert searches == []

@@ -1,0 +1,139 @@
+from collections import Counter
+
+import pytest
+
+from repro.hijacker.profiling import (
+    ACCOUNT_TERMS,
+    CONTENT_TERMS,
+    FINANCE_TERMS,
+    FOLDER_OPEN_RATES,
+    ProfilingPlaybook,
+    SearchTermModel,
+)
+from repro.logs.store import LogStore
+from repro.mail.search import MailSearchService
+from repro.net.email_addr import EmailAddress
+from repro.world.accounts import Account, RecoveryOptions
+from repro.world.mailbox import Mailbox
+from repro.world.messages import EmailMessage, MessageKind
+from repro.world.users import ActivityLevel, User
+
+
+class TestTermTables:
+    def test_finance_weights_match_table3(self):
+        weights = dict(FINANCE_TERMS)
+        assert weights["wire transfer"] == 14.4
+        assert weights["bank transfer"] == 11.9
+        assert weights["账单"] == 3.0
+
+    def test_finance_dominates(self):
+        finance = sum(weight for _, weight in FINANCE_TERMS)
+        accounts = sum(weight for _, weight in ACCOUNT_TERMS)
+        content = sum(weight for _, weight in CONTENT_TERMS)
+        assert finance > 10 * (accounts + content) / 2
+
+    def test_folder_rates_match_paper(self):
+        rates = {folder.value: rate for folder, rate in FOLDER_OPEN_RATES}
+        assert rates["Starred"] == 0.16
+        assert rates["Drafts"] == 0.11
+        assert rates["Sent Mail"] == 0.05
+        assert rates["Trash"] < 0.01
+
+
+class TestSearchTermModel:
+    def test_finance_terms_dominate_samples(self, rng):
+        model = SearchTermModel(rng, language="en")
+        finance_terms = {term for term, _ in FINANCE_TERMS}
+        samples = [model.sample_query() for _ in range(2000)]
+        finance_share = sum(1 for s in samples if s in finance_terms) / 2000
+        assert finance_share > 0.85
+
+    def test_language_boost(self, rng):
+        spanish = SearchTermModel(rng, language="es")
+        english = SearchTermModel(rng, language="en")
+        spanish_count = sum(
+            1 for _ in range(3000)
+            if spanish.sample_query() in ("transferencia", "banco"))
+        english_count = sum(
+            1 for _ in range(3000)
+            if english.sample_query() in ("transferencia", "banco"))
+        assert spanish_count > english_count * 1.2
+
+    def test_session_queries_distinct(self, rng):
+        model = SearchTermModel(rng)
+        for _ in range(100):
+            queries = model.sample_session_queries()
+            assert 1 <= len(queries) <= 5
+            assert len(queries) == len(set(queries))
+
+
+def make_account(with_finance=True, n_contacts=5):
+    address = EmailAddress("victim", "primarymail.com")
+    user = User(user_id="user-000000", name="Victim", country="US",
+                language="en", activity=ActivityLevel.DAILY, gullibility=0.2)
+    account = Account(account_id="acct-000000", owner=user, address=address,
+                      password="pw12345678", recovery=RecoveryOptions(),
+                      mailbox=Mailbox(address))
+    for index in range(n_contacts):
+        account.mailbox.deliver(EmailMessage(
+            message_id=f"msg-{index:06d}",
+            sender=EmailAddress(f"friend{index}", "primarymail.com"),
+            recipients=(address,), subject="hello", sent_at=index))
+    if with_finance:
+        account.mailbox.deliver(EmailMessage(
+            message_id="msg-900000",
+            sender=EmailAddress("bank", "primarymail.com"),
+            recipients=(address,), subject="statement", sent_at=50,
+            kind=MessageKind.FINANCIAL,
+            keywords=("wire transfer", "bank transfer", "bank statement",
+                      "transferencia", "investment", "wire", "transfer",
+                      "banco", "账单")))
+    return account
+
+
+@pytest.fixture
+def playbook(rng):
+    return ProfilingPlaybook(
+        rng, MailSearchService(LogStore()), SearchTermModel(rng))
+
+
+class TestAssessment:
+    def test_finds_financial_material(self, playbook):
+        hits = sum(
+            playbook.assess(make_account(), now=100).found_financial
+            for _ in range(100))
+        assert hits > 80
+
+    def test_duration_mean_near_three_minutes(self, playbook):
+        durations = [playbook.assess(make_account(), now=0).duration_minutes
+                     for _ in range(500)]
+        assert 2.0 < sum(durations) / len(durations) < 4.2
+
+    def test_valuable_accounts_usually_exploited(self, playbook):
+        results = [playbook.assess(make_account(), now=0)
+                   for _ in range(200)]
+        valuable = [r for r in results if r.found_financial]
+        exploited = sum(1 for r in valuable if r.worth_exploiting)
+        assert exploited / len(valuable) > 0.8
+
+    def test_contactless_account_never_exploited(self, playbook):
+        account = make_account(with_finance=True, n_contacts=0)
+        for _ in range(50):
+            assert not playbook.assess(account, now=0).worth_exploiting
+
+    def test_thin_accounts_mostly_skipped(self, playbook):
+        account = make_account(with_finance=False)
+        results = [playbook.assess(account, now=0) for _ in range(200)]
+        exploited = sum(1 for r in results if r.worth_exploiting) / 200
+        assert exploited < 0.35
+
+    def test_folder_opens_at_configured_rates(self, rng):
+        playbook = ProfilingPlaybook(
+            rng, MailSearchService(LogStore()), SearchTermModel(rng))
+        counts = Counter()
+        for _ in range(600):
+            result = playbook.assess(make_account(), now=0)
+            counts.update(folder.value for folder in result.folders_opened)
+        assert 0.10 < counts["Starred"] / 600 < 0.23
+        assert 0.06 < counts["Drafts"] / 600 < 0.17
+        assert counts["Trash"] / 600 < 0.04

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.hijacker.targeted import TargetedAttacker
+from repro.logs.events import Actor, LoginEvent, MailSentEvent
+
+from tests.hijacker.harness import build_harness
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    harness = build_harness(seed=47, n_users=150)
+    attacker = TargetedAttacker(
+        rng=harness.rngs.stream("targeted"),
+        population=harness.population,
+        auth=harness.auth,
+        search=harness.search,
+        allocator=harness.ip_pool.allocator,
+        store=harness.store,
+    )
+    reports = attacker.run_campaign(n_targets=5, start=24 * 60)
+    return harness, attacker, reports
+
+
+class TestTargetSelection:
+    def test_picks_richest_accounts(self, campaign):
+        harness, attacker, _reports = campaign
+        targets = attacker.select_targets(5)
+        target_value = sum(
+            t.owner.traits.value_score() for t in targets) / 5
+        population_value = sum(
+            a.owner.traits.value_score()
+            for a in harness.population.accounts.values()
+        ) / len(harness.population)
+        assert target_value > population_value
+
+    def test_target_list_tiny(self, campaign):
+        _harness, _attacker, reports = campaign
+        assert len(reports) == 5
+
+
+class TestIntrusion:
+    def test_mostly_succeeds(self, campaign):
+        _harness, _attacker, reports = campaign
+        succeeded = sum(1 for r in reports if r.succeeded)
+        assert succeeded >= 3  # tailored attacks rarely miss
+
+    def test_deep_quiet_exfiltration(self, campaign):
+        harness, _attacker, reports = campaign
+        assert any(r.messages_read > 0 for r in reports)
+        # Espionage sends nothing — no scam blasts, ever.
+        sends = harness.store.query(
+            MailSentEvent,
+            where=lambda e: e.actor is Actor.TARGETED_ATTACKER)
+        assert sends == []
+
+    def test_persistent_dwell(self, campaign):
+        _harness, _attacker, reports = campaign
+        multi_session = [r for r in reports if r.sessions >= 2]
+        assert multi_session
+        assert any(r.dwell_minutes > 60 for r in multi_session)
+
+    def test_logins_use_victim_local_geography(self, campaign):
+        harness, _attacker, reports = campaign
+        logins = harness.store.query(
+            LoginEvent,
+            where=lambda e: e.actor is Actor.TARGETED_ATTACKER)
+        assert logins
+        geoip = harness.driver.auth.risk.geoip
+        for login in logins:
+            account = harness.population.accounts[login.account_id]
+            assert geoip.lookup(login.ip) == account.owner.country
+
+
+class TestDepthScore:
+    def test_deepest_of_all_classes(self, campaign):
+        _harness, attacker, _reports = campaign
+        from repro.hijacker.taxonomy import TAXONOMY, AttackClass
+
+        assert attacker.depth_score() > TAXONOMY[AttackClass.MANUAL].depth_score
+
+    def test_empty_campaign_scores_zero(self):
+        harness = build_harness(seed=53, n_users=30)
+        attacker = TargetedAttacker(
+            rng=harness.rngs.stream("t"),
+            population=harness.population,
+            auth=harness.auth,
+            search=harness.search,
+            allocator=harness.ip_pool.allocator,
+            store=harness.store,
+        )
+        assert attacker.depth_score() == 0.0

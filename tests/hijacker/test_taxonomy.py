@@ -1,0 +1,43 @@
+import pytest
+
+from repro.hijacker.taxonomy import TAXONOMY, AttackClass, ClassProfile, classify_observed
+
+
+class TestTaxonomy:
+    def test_three_classes(self):
+        assert set(TAXONOMY) == set(AttackClass)
+
+    def test_volume_ordering(self):
+        assert (TAXONOMY[AttackClass.AUTOMATED].accounts_per_day[0]
+                > TAXONOMY[AttackClass.MANUAL].accounts_per_day[1])
+        assert (TAXONOMY[AttackClass.MANUAL].accounts_per_day[0]
+                >= TAXONOMY[AttackClass.TARGETED].accounts_per_day[1])
+
+    def test_depth_ordering(self):
+        assert (TAXONOMY[AttackClass.TARGETED].depth_score
+                > TAXONOMY[AttackClass.MANUAL].depth_score
+                > TAXONOMY[AttackClass.AUTOMATED].depth_score)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ClassProfile(AttackClass.MANUAL, (10, 5), 0.5, "bad envelope")
+        with pytest.raises(ValueError):
+            ClassProfile(AttackClass.MANUAL, (1, 5), 1.5, "bad depth")
+
+
+class TestClassification:
+    def test_botnet_scale(self):
+        assert classify_observed(50_000, 0.1) is AttackClass.AUTOMATED
+
+    def test_manual_scale(self):
+        assert classify_observed(100, 0.7) is AttackClass.MANUAL
+
+    def test_targeted(self):
+        assert classify_observed(3, 0.95) is AttackClass.TARGETED
+
+    def test_low_volume_shallow_is_manual(self):
+        assert classify_observed(5, 0.5) is AttackClass.MANUAL
+
+    def test_rejects_zero_volume(self):
+        with pytest.raises(ValueError):
+            classify_observed(0, 0.5)

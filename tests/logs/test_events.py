@@ -1,0 +1,76 @@
+import pytest
+
+from repro.logs.events import (
+    Actor,
+    HttpRequestEvent,
+    LoginEvent,
+    MailSentEvent,
+    RecoveryClaimEvent,
+    SettingsChangeEvent,
+)
+from repro.net.http import HttpRequest, Method
+from repro.net.ip import IpAddress
+
+IP = IpAddress.parse("20.0.0.1")
+
+
+class TestLoginEvent:
+    def test_valid(self):
+        event = LoginEvent(timestamp=5, account_id="acct-000000", ip=IP,
+                           password_correct=True, succeeded=True,
+                           actor=Actor.MANUAL_HIJACKER)
+        assert event.actor is Actor.MANUAL_HIJACKER
+
+    def test_requires_account(self):
+        with pytest.raises(ValueError):
+            LoginEvent(timestamp=5)
+
+    def test_success_requires_correct_password(self):
+        with pytest.raises(ValueError):
+            LoginEvent(timestamp=5, account_id="a", password_correct=False,
+                       succeeded=True)
+
+    def test_success_and_blocked_exclusive(self):
+        with pytest.raises(ValueError):
+            LoginEvent(timestamp=5, account_id="a", password_correct=True,
+                       succeeded=True, blocked=True)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            LoginEvent(timestamp=-1, account_id="a")
+
+
+class TestMailSentEvent:
+    def test_requires_recipients(self):
+        with pytest.raises(ValueError):
+            MailSentEvent(timestamp=1, account_id="a", message_id="m",
+                          recipient_count=0)
+
+
+class TestSettingsChangeEvent:
+    def test_known_settings_accepted(self):
+        for setting in SettingsChangeEvent.SETTINGS:
+            SettingsChangeEvent(timestamp=1, account_id="a", setting=setting)
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(ValueError):
+            SettingsChangeEvent(timestamp=1, account_id="a", setting="theme")
+
+
+class TestRecoveryClaimEvent:
+    def test_completion_after_filing(self):
+        with pytest.raises(ValueError):
+            RecoveryClaimEvent(timestamp=100, account_id="a", method="sms",
+                               completed_at=50)
+
+
+class TestHttpRequestEvent:
+    def test_timestamp_must_match(self):
+        request = HttpRequest(timestamp=5, method=Method.GET, page_id="p",
+                              client_ip=IP)
+        with pytest.raises(ValueError):
+            HttpRequestEvent(timestamp=6, request=request)
+
+    def test_requires_request(self):
+        with pytest.raises(ValueError):
+            HttpRequestEvent(timestamp=6)

@@ -1,0 +1,51 @@
+from repro.logs.mapreduce import MapReduceJob, count_by, mean_by, run_job, sum_by
+
+
+class TestRunJob:
+    def test_word_count(self):
+        job = MapReduceJob(
+            mapper=lambda line: [(word, 1) for word in line.split()],
+            reducer=lambda _word, ones: sum(ones),
+        )
+        output = run_job(job, ["a b a", "b a"])
+        assert output == {"a": 3, "b": 2}
+
+    def test_empty_input(self):
+        job = MapReduceJob(mapper=lambda r: [(r, 1)],
+                           reducer=lambda k, v: sum(v))
+        assert run_job(job, []) == {}
+
+    def test_mapper_can_emit_nothing(self):
+        job = MapReduceJob(mapper=lambda r: [] if r < 0 else [(r, 1)],
+                           reducer=lambda k, v: sum(v))
+        assert run_job(job, [-1, -2, 3]) == {3: 1}
+
+    def test_combiner_preserves_result(self):
+        job = MapReduceJob(mapper=lambda r: [("k", 1)],
+                           reducer=lambda k, v: sum(v))
+        records = list(range(5000))
+        with_combiner = run_job(job, records,
+                                combiner=lambda k, v: [sum(v)])
+        without = run_job(job, records)
+        assert with_combiner == without == {"k": 5000}
+
+
+class TestConveniences:
+    def test_count_by(self):
+        counts = count_by(["x", "y", "x"], key_of=lambda r: r)
+        assert counts == {"x": 2, "y": 1}
+
+    def test_sum_by(self):
+        records = [("a", 2.0), ("a", 3.0), ("b", 1.0)]
+        sums = sum_by(records, key_of=lambda r: r[0], value_of=lambda r: r[1])
+        assert sums == {"a": 5.0, "b": 1.0}
+
+    def test_mean_by(self):
+        records = [("a", 2.0), ("a", 4.0), ("b", 1.0)]
+        means = mean_by(records, key_of=lambda r: r[0], value_of=lambda r: r[1])
+        assert means == {"a": 3.0, "b": 1.0}
+
+    def test_mean_by_large_group_with_combiner(self):
+        records = [("k", float(i)) for i in range(3000)]
+        means = mean_by(records, key_of=lambda r: r[0], value_of=lambda r: r[1])
+        assert means["k"] == (2999 / 2)

@@ -1,0 +1,89 @@
+import pytest
+
+from repro.logs.events import LoginEvent, SearchEvent
+from repro.logs.store import LogStore
+from repro.net.ip import IpAddress
+
+IP = IpAddress.parse("20.0.0.1")
+
+
+def login(timestamp, account="acct-000000", correct=True):
+    return LoginEvent(timestamp=timestamp, account_id=account, ip=IP,
+                      password_correct=correct, succeeded=correct)
+
+
+def search(timestamp, account="acct-000000", query="bank"):
+    return SearchEvent(timestamp=timestamp, account_id=account, query=query)
+
+
+@pytest.fixture
+def store():
+    store = LogStore()
+    store.append(login(30))
+    store.append(login(10))
+    store.append(login(20, account="acct-000001"))
+    store.append(search(15))
+    return store
+
+
+class TestQuery:
+    def test_sorted_by_timestamp(self, store):
+        events = store.query(LoginEvent)
+        assert [e.timestamp for e in events] == [10, 20, 30]
+
+    def test_time_window(self, store):
+        events = store.query(LoginEvent, since=15, until=25)
+        assert [e.timestamp for e in events] == [20]
+
+    def test_where_predicate(self, store):
+        events = store.query(
+            LoginEvent, where=lambda e: e.account_id == "acct-000001")
+        assert len(events) == 1
+
+    def test_types_are_separate_families(self, store):
+        assert store.count(LoginEvent) == 3
+        assert store.count(SearchEvent) == 1
+
+    def test_unknown_type_empty(self, store):
+        from repro.logs.events import SuspensionEvent
+
+        assert store.query(SuspensionEvent) == []
+
+
+class TestAccountIndex:
+    def test_for_account_cross_type(self, store):
+        events = store.for_account("acct-000000")
+        assert [e.timestamp for e in events] == [10, 15, 30]
+
+    def test_for_account_window(self, store):
+        assert len(store.for_account("acct-000000", since=12, until=16)) == 1
+
+    def test_accounts_seen(self, store):
+        assert store.accounts_seen() == ["acct-000000", "acct-000001"]
+
+
+class TestBookkeeping:
+    def test_counts(self, store):
+        assert store.count() == len(store) == 4
+
+    def test_event_types(self, store):
+        names = [t.__name__ for t in store.event_types()]
+        assert names == ["LoginEvent", "SearchEvent"]
+
+    def test_extend(self):
+        store = LogStore()
+        store.extend([login(1), login(2)])
+        assert len(store) == 2
+
+
+class TestRemoveWhere:
+    def test_erase_old_events(self, store):
+        erased = store.remove_where(LoginEvent, lambda e: e.timestamp < 25)
+        assert erased == 2
+        assert store.count(LoginEvent) == 1
+        # Account index updated too.
+        assert [e.timestamp for e in store.for_account("acct-000000")] == [15, 30]
+
+    def test_erase_nothing(self, store):
+        assert store.remove_where(LoginEvent, lambda e: False) == 0
+        assert len(store) == 4

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.mail.reports import UserReportModel
+from repro.net.email_addr import EmailAddress
+from repro.world.messages import EmailMessage, MessageKind
+
+
+def make_message(kind=MessageKind.ORGANIC):
+    return EmailMessage(
+        message_id="msg-000000",
+        sender=EmailAddress("a", "primarymail.com"),
+        recipients=(EmailAddress("b", "primarymail.com"),),
+        subject="x", sent_at=0, kind=kind,
+    )
+
+
+@pytest.fixture
+def model(rng):
+    return UserReportModel(rng)
+
+
+class TestProbabilities:
+    def test_abusive_inbox_highest(self, model):
+        abusive = model.report_probability(
+            make_message(MessageKind.SCAM), True, False)
+        organic = model.report_probability(
+            make_message(MessageKind.ORGANIC), True, False)
+        assert abusive > organic
+
+    def test_spam_folder_rarely_read(self, model):
+        inbox = model.report_probability(
+            make_message(MessageKind.PHISHING), True, False)
+        folder = model.report_probability(
+            make_message(MessageKind.PHISHING), False, False)
+        assert folder < inbox
+
+    def test_contact_discount_severe(self, model):
+        stranger = model.report_probability(
+            make_message(MessageKind.SCAM), True, False)
+        friend = model.report_probability(
+            make_message(MessageKind.SCAM), True, True)
+        assert friend < stranger * 0.1
+
+    def test_organic_false_reports_exist(self, model):
+        assert model.report_probability(make_message(), True, False) > 0
+
+
+class TestBehavior:
+    def test_maybe_report_rates(self, rng):
+        model = UserReportModel(rng)
+        message = make_message(MessageKind.PHISHING)
+        hits = sum(model.maybe_report(message, True, False)
+                   for _ in range(4000)) / 4000
+        assert abs(hits - model.inbox_report_rate_abusive) < 0.02
+
+    def test_delay_positive_and_hours_scale(self, model):
+        delays = [model.report_delay_minutes() for _ in range(300)]
+        assert all(d >= 1 for d in delays)
+        assert 120 < sum(delays) / len(delays) < 900
+
+    def test_labels_noisy_but_sane(self, rng):
+        model = UserReportModel(rng)
+        phishing = [model.report_label(make_message(MessageKind.PHISHING))
+                    for _ in range(500)]
+        assert set(phishing) == {"phishing", "spam"}
+        # Scams are mostly called plain spam — the curation problem.
+        scam = [model.report_label(make_message(MessageKind.SCAM))
+                for _ in range(500)]
+        assert scam.count("spam") > scam.count("phishing")
+        assert model.report_label(make_message()) == "spam"

@@ -1,0 +1,74 @@
+import pytest
+
+from repro.logs.events import Actor, FolderOpenEvent, SearchEvent
+from repro.logs.store import LogStore
+from repro.mail.search import MailSearchService, random_owner_query
+from repro.net.email_addr import EmailAddress
+from repro.world.accounts import Account, RecoveryOptions
+from repro.world.mailbox import Mailbox
+from repro.world.messages import EmailMessage, Folder
+from repro.world.users import ActivityLevel, User
+
+
+@pytest.fixture
+def account():
+    address = EmailAddress("owner", "primarymail.com")
+    user = User(user_id="user-000000", name="Owner", country="US",
+                language="en", activity=ActivityLevel.DAILY, gullibility=0.1)
+    account = Account(
+        account_id="acct-000000", owner=user, address=address,
+        password="pw12345678", recovery=RecoveryOptions(),
+        mailbox=Mailbox(address),
+    )
+    account.mailbox.deliver(EmailMessage(
+        message_id="msg-000000",
+        sender=EmailAddress("friend", "primarymail.com"),
+        recipients=(address,), subject="wire transfer details", sent_at=1,
+    ))
+    return account
+
+
+class _SpyBehavioral:
+    def __init__(self):
+        self.searches = []
+
+    def note_search(self, account_id, query, now):
+        self.searches.append((account_id, query, now))
+
+
+class TestSearchService:
+    def test_search_returns_and_logs(self, account):
+        store = LogStore()
+        service = MailSearchService(store)
+        results = service.search(account, "wire transfer", now=50,
+                                 actor=Actor.MANUAL_HIJACKER)
+        assert len(results) == 1
+        events = store.query(SearchEvent)
+        assert len(events) == 1
+        assert events[0].query == "wire transfer"
+        assert events[0].result_count == 1
+        assert events[0].actor is Actor.MANUAL_HIJACKER
+
+    def test_search_marks_activity(self, account):
+        service = MailSearchService(LogStore())
+        service.search(account, "anything", now=999)
+        assert account.last_activity_at == 999
+
+    def test_behavioral_hook_sees_everyone(self, account):
+        spy = _SpyBehavioral()
+        service = MailSearchService(LogStore(), behavioral=spy)
+        service.search(account, "bank", now=5, actor=Actor.OWNER)
+        service.search(account, "bank", now=6, actor=Actor.MANUAL_HIJACKER)
+        assert len(spy.searches) == 2
+
+    def test_open_folder_logs_and_returns(self, account):
+        store = LogStore()
+        service = MailSearchService(store)
+        messages = service.open_folder(account, Folder.INBOX, now=10)
+        assert len(messages) == 1
+        events = store.query(FolderOpenEvent)
+        assert events[0].folder == "Inbox"
+
+    def test_random_owner_query_nonempty(self, rng):
+        for _ in range(20):
+            assert random_owner_query(rng)

@@ -1,0 +1,50 @@
+import pytest
+
+from repro.net.email_addr import EmailAddress, generate_address, generate_username
+
+
+class TestEmailAddress:
+    def test_parse_round_trip(self):
+        address = EmailAddress.parse("alex.smith@primarymail.com")
+        assert address.username == "alex.smith"
+        assert address.domain == "primarymail.com"
+        assert str(address) == "alex.smith@primarymail.com"
+
+    def test_tld(self):
+        assert EmailAddress.parse("a@b.edu").tld == "edu"
+
+    def test_with_username_and_domain(self):
+        address = EmailAddress("alex", "a.com")
+        assert str(address.with_username("bob")) == "bob@a.com"
+        assert str(address.with_domain("b.net")) == "alex@b.net"
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            EmailAddress.parse("no-at-sign")
+        with pytest.raises(ValueError):
+            EmailAddress("", "a.com")
+        with pytest.raises(ValueError):
+            EmailAddress("a b", "a.com")
+        with pytest.raises(ValueError):
+            EmailAddress("a", "nodot")
+
+    def test_hashable_and_ordered(self):
+        a = EmailAddress("a", "x.com")
+        b = EmailAddress("b", "x.com")
+        assert a < b
+        assert len({a, b, EmailAddress("a", "x.com")}) == 2
+
+
+class TestGeneration:
+    def test_username_shape(self, rng):
+        for _ in range(50):
+            username = generate_username(rng)
+            assert username
+            assert " " not in username
+
+    def test_generate_avoids_taken(self, rng):
+        taken = set()
+        for _ in range(300):
+            address = generate_address(rng, "primarymail.com", taken)
+            assert address not in taken
+            taken.add(address)

@@ -1,0 +1,71 @@
+import pytest
+
+from repro.net.geoip import (
+    COUNTRIES,
+    DEFAULT_BLOCKS,
+    GeoIpDatabase,
+    build_default_internet,
+    country_name,
+)
+from repro.net.ip import IpAddress, IpAllocator, IpBlock
+
+
+class TestCountries:
+    def test_study_countries_present(self):
+        for code in ("CN", "MY", "CI", "NG", "ZA", "VE"):
+            assert code in COUNTRIES
+
+    def test_country_name(self):
+        assert country_name("CI") == "Ivory Coast"
+        with pytest.raises(KeyError):
+            country_name("ZZ")
+
+
+class TestGeoIpDatabase:
+    def test_lookup_inside_block(self):
+        database = GeoIpDatabase()
+        database.register(IpBlock.parse("10.0.0.0/24"), "CN")
+        assert database.lookup(IpAddress.parse("10.0.0.17")) == "CN"
+
+    def test_lookup_outside_any_block(self):
+        database = GeoIpDatabase()
+        database.register(IpBlock.parse("10.0.0.0/24"), "CN")
+        assert database.lookup(IpAddress.parse("10.0.1.0")) is None
+        assert database.lookup(IpAddress.parse("9.255.255.255")) is None
+
+    def test_overlap_rejected(self):
+        database = GeoIpDatabase()
+        database.register(IpBlock.parse("10.0.0.0/24"), "CN")
+        with pytest.raises(ValueError):
+            database.register(IpBlock.parse("10.0.0.0/25"), "MY")
+
+    def test_unknown_country_rejected(self):
+        database = GeoIpDatabase()
+        with pytest.raises(KeyError):
+            database.register(IpBlock.parse("10.0.0.0/24"), "ZZ")
+
+    def test_len(self):
+        database = GeoIpDatabase()
+        database.register(IpBlock.parse("10.0.0.0/24"), "CN")
+        database.register(IpBlock.parse("11.0.0.0/24"), "MY")
+        assert len(database) == 2
+
+
+class TestDefaultInternet:
+    def test_allocations_geolocate_correctly(self, rng):
+        allocator = IpAllocator(rng)
+        database = build_default_internet(allocator)
+        for country in ("CN", "NG", "US", "VE"):
+            for _ in range(10):
+                assert database.lookup(allocator.allocate(country)) == country
+
+    def test_every_country_has_blocks(self, rng):
+        allocator = IpAllocator(rng)
+        build_default_internet(allocator)
+        assert set(allocator.countries()) == set(DEFAULT_BLOCKS)
+
+    def test_from_allocator_mirror(self, rng):
+        allocator = IpAllocator(rng)
+        allocator.register_block("CN", IpBlock.parse("10.0.0.0/24"))
+        database = GeoIpDatabase.from_allocator(allocator)
+        assert database.lookup(IpAddress.parse("10.0.0.1")) == "CN"

@@ -1,0 +1,73 @@
+import pytest
+
+from repro.net.email_addr import EmailAddress
+from repro.phishing.pages import PageHosting, PhishingPage, sample_page_quality
+from repro.phishing.templates import AccountType
+from repro.world.accounts import Credential
+
+
+def make_page(**overrides):
+    defaults = dict(
+        page_id="page-000000", target=AccountType.MAIL,
+        hosting=PageHosting.WEB, created_at=100, quality=0.5,
+    )
+    defaults.update(overrides)
+    return PhishingPage(**defaults)
+
+
+class TestLifecycle:
+    def test_up_until_takedown(self):
+        page = make_page()
+        assert page.is_up(5000)
+        page.take_down(6000)
+        assert page.is_up(5999)
+        assert not page.is_up(6000)
+
+    def test_takedown_idempotent(self):
+        page = make_page()
+        page.take_down(500)
+        page.take_down(900)
+        assert page.taken_down_at == 500
+
+    def test_takedown_before_creation_rejected(self):
+        with pytest.raises(ValueError):
+            make_page().take_down(50)
+
+    def test_lifetime(self):
+        page = make_page()
+        assert page.lifetime(400) == 300
+        page.take_down(200)
+        assert page.lifetime(10**6) == 100
+
+
+class TestValidation:
+    def test_quality_bounds(self):
+        with pytest.raises(ValueError):
+            make_page(quality=0.0)
+        with pytest.raises(ValueError):
+            make_page(quality=1.1)
+
+    def test_negative_creation_rejected(self):
+        with pytest.raises(ValueError):
+            make_page(created_at=-1)
+
+
+class TestCapture:
+    def test_capture_appends(self):
+        page = make_page()
+        credential = Credential(address=EmailAddress("a", "b.com"),
+                                password="p", captured_at=150)
+        page.capture(credential)
+        assert page.harvested == [credential]
+
+
+class TestQualitySampling:
+    def test_range(self, rng):
+        for _ in range(300):
+            assert 0.07 <= sample_page_quality(rng) <= 1.0
+
+    def test_spread_supports_figure5(self, rng):
+        samples = [sample_page_quality(rng) for _ in range(3000)]
+        assert min(samples) < 0.15        # "very poorly executed" tail
+        assert max(samples) > 0.8         # well-executed pages exist
+        assert 0.3 < sum(samples) / 3000 < 0.5

@@ -1,0 +1,102 @@
+import pytest
+
+from repro.net.email_addr import EmailAddress
+from repro.net.phones import PhoneNumber
+from repro.recovery.channels import ChannelAttempt, ChannelModel
+from repro.world.accounts import Account, RecoveryOptions
+from repro.world.mailbox import Mailbox
+from repro.world.users import ActivityLevel, User
+
+
+def make_account(phone=True, secondary=True, recycled=False, country="US",
+                 secret=True):
+    address = EmailAddress("owner", "primarymail.com")
+    user = User(user_id="user-000000", name="o", country=country,
+                language="en", activity=ActivityLevel.DAILY, gullibility=0.1)
+    recovery = RecoveryOptions(
+        phone=PhoneNumber("+14155551234") if phone else None,
+        secondary_email=EmailAddress("me", "inboxly.net") if secondary else None,
+        secondary_email_recycled=recycled,
+        has_secret_question=secret,
+    )
+    return Account(account_id="acct-000000", owner=user, address=address,
+                   password="pw12345678", recovery=recovery,
+                   mailbox=Mailbox(address))
+
+
+@pytest.fixture
+def model(rng):
+    return ChannelModel(rng)
+
+
+def success_rate(model, account, method, n=2500):
+    return sum(model.attempt(account, method).succeeded
+               for _ in range(n)) / n
+
+
+class TestFigure10Rates:
+    def test_sms_near_81_percent(self, model):
+        rate = success_rate(model, make_account(), "sms")
+        assert 0.77 < rate < 0.86
+
+    def test_email_near_75_percent(self, model):
+        rate = success_rate(model, make_account(), "email")
+        assert 0.70 < rate < 0.80
+
+    def test_fallback_near_14_percent(self, model):
+        rate = success_rate(model, make_account(), "fallback")
+        assert 0.10 < rate < 0.20
+
+    def test_ordering_matches_paper(self, model):
+        account = make_account()
+        sms = success_rate(model, account, "sms", n=1500)
+        email = success_rate(model, account, "email", n=1500)
+        fallback = success_rate(model, account, "fallback", n=1500)
+        assert sms > email > fallback
+
+
+class TestFailureModes:
+    def test_no_phone_fails_cleanly(self, model):
+        attempt = model.attempt(make_account(phone=False), "sms")
+        assert not attempt.succeeded
+        assert attempt.failure_reason == "no_phone_on_file"
+
+    def test_flaky_country_gateways(self, model):
+        reliable = success_rate(model, make_account(country="US"), "sms")
+        flaky = success_rate(model, make_account(country="NG"), "sms")
+        assert flaky < reliable - 0.1
+
+    def test_recycled_email_fails(self, model):
+        attempt = model.attempt(make_account(recycled=True), "email")
+        assert not attempt.succeeded
+        assert attempt.failure_reason == "address_recycled"
+
+    def test_email_bounce_rate_about_5_percent(self, rng):
+        model = ChannelModel(rng)
+        bounces = sum(
+            model.attempt(make_account(), "email").failure_reason == "bounced"
+            for _ in range(4000))
+        assert 0.03 < bounces / 4000 < 0.07
+
+    def test_unknown_method_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.attempt(make_account(), "carrier-pigeon")
+
+    def test_attempt_invariant(self):
+        with pytest.raises(ValueError):
+            ChannelAttempt("sms", True, "reason-on-success")
+
+
+class TestOfferedMethods:
+    def test_full_options(self, model):
+        assert model.offered_methods(make_account()) == (
+            "sms", "email", "fallback")
+
+    def test_recycled_email_not_offered(self, model):
+        assert "email" not in model.offered_methods(
+            make_account(recycled=True))
+
+    def test_fallback_always_offered(self, model):
+        offered = model.offered_methods(
+            make_account(phone=False, secondary=False))
+        assert offered == ("fallback",)

@@ -1,0 +1,145 @@
+import pytest
+
+from repro.defense.notifications import NotificationService
+from repro.logs.events import HijackFlagEvent, RecoveryClaimEvent, RemissionEvent
+from repro.logs.store import LogStore
+from repro.net.email_addr import EmailAddress
+from repro.net.phones import PhoneNumber
+from repro.recovery.channels import ChannelModel
+from repro.recovery.claims import RemediationEngine
+from repro.recovery.remission import RemissionService
+from repro.util.rng import RngRegistry
+from repro.world.accounts import Account, AccountState, RecoveryOptions
+from repro.world.mailbox import Mailbox
+from repro.world.users import ActivityLevel, User
+
+
+def make_account(index=0, phone=True):
+    address = EmailAddress(f"owner{index}", "primarymail.com")
+    user = User(user_id=f"user-{index:06d}", name="o", country="US",
+                language="en", activity=ActivityLevel.DAILY, gullibility=0.1)
+    recovery = RecoveryOptions(
+        phone=PhoneNumber(f"+1415555{index:04d}") if phone else None,
+        secondary_email=EmailAddress(f"me{index}", "inboxly.net"),
+    )
+    return Account(account_id=f"acct-{index:06d}", owner=user,
+                   address=address, password="pw12345678",
+                   recovery=recovery, mailbox=Mailbox(address))
+
+
+@pytest.fixture
+def engine():
+    rngs = RngRegistry(61)
+    store = LogStore()
+    notifications = NotificationService(rngs.stream("notify"), store)
+    remission = RemissionService(rngs.stream("remission"), store)
+    return store, RemediationEngine(
+        rngs.stream("engine"), store, ChannelModel(rngs.stream("channels")),
+        notifications, remission)
+
+
+class TestOpenCase:
+    def test_notified_case_opens_with_latency(self, engine):
+        _store, remediation = engine
+        case = remediation.open_case(make_account(), hijack_flagged_at=1000,
+                                     victim_notified=True)
+        assert case is not None
+        assert case.claim_started_at > 1000
+        assert case.latency == case.claim_started_at - 1000
+
+    def test_some_unnotified_cases_never_open(self, engine):
+        _store, remediation = engine
+        results = [remediation.open_case(make_account(i), 1000, False)
+                   for i in range(300)]
+        assert any(case is None for case in results)
+        assert any(case is not None for case in results)
+
+
+class TestRunCase:
+    def test_successful_recovery_restores_account(self, engine):
+        store, remediation = engine
+        account = make_account()
+        account.suspend(now=900)
+        old_password = account.password
+        case = remediation.open_case(account, 1000, True)
+        for attempt in range(50):
+            if case is None:
+                case = remediation.open_case(account, 1000, True)
+                continue
+            remediation.run_case(case, account)
+            if case.recovered:
+                break
+            case = None
+        assert case is not None and case.recovered
+        assert account.state is AccountState.ACTIVE
+        assert account.password != old_password
+        assert store.query(RemissionEvent)
+
+    def test_every_attempt_logged(self, engine):
+        store, remediation = engine
+        account = make_account()
+        case = remediation.open_case(account, 1000, True)
+        remediation.run_case(case, account)
+        claims = store.query(RecoveryClaimEvent)
+        assert len(claims) == len(case.attempts)
+        assert all(c.hijack_flagged_at == 1000 for c in claims)
+
+    def test_failed_channels_escalate(self, engine):
+        """If the first channel fails, later channels are tried — the
+        attempt sequence stays within the offered set."""
+        _store, remediation = engine
+        failures_with_multiple_attempts = 0
+        for index in range(200):
+            account = make_account(index)
+            case = remediation.open_case(account, 1000, True)
+            if case is None:
+                continue
+            remediation.run_case(case, account)
+            if len(case.attempts) > 1:
+                failures_with_multiple_attempts += 1
+                methods = [a.method for a in case.attempts]
+                assert len(set(methods)) == len(methods)  # no repeats
+        assert failures_with_multiple_attempts > 0
+
+    def test_fallback_only_user_often_stuck(self, engine):
+        _store, remediation = engine
+        stuck = recovered = 0
+        for index in range(200):
+            account = make_account(index, phone=False)
+            account.recovery.secondary_email = None
+            case = remediation.open_case(account, 1000, True)
+            if case is None:
+                continue
+            remediation.run_case(case, account)
+            if case.recovered:
+                recovered += 1
+            else:
+                stuck += 1
+        assert stuck > recovered  # fallback ≈ 14% success
+
+
+class TestFlagging:
+    def test_flag_if_unflagged_creates(self, engine):
+        store, remediation = engine
+        account = make_account()
+        at = remediation.flag_if_unflagged(account, at=777)
+        assert at == 777
+        flags = store.query(HijackFlagEvent)
+        assert flags[0].source == "user_claim"
+
+    def test_existing_flag_wins(self, engine):
+        store, remediation = engine
+        account = make_account()
+        store.append(HijackFlagEvent(timestamp=500,
+                                     account_id=account.account_id,
+                                     source="behavioral"))
+        assert remediation.flag_if_unflagged(account, at=777) == 500
+        assert store.count(HijackFlagEvent) == 1
+
+    def test_recovery_rate_bookkeeping(self, engine):
+        _store, remediation = engine
+        assert remediation.recovery_rate() == 0.0
+        account = make_account()
+        case = remediation.open_case(account, 1000, True)
+        remediation.run_case(case, account)
+        assert 0.0 <= remediation.recovery_rate() <= 1.0

@@ -1,0 +1,45 @@
+import pytest
+
+from repro.scams.corpus import MUGGED_IN_CITY, SCHEMES, scheme_by_name
+from repro.scams.principles import Principle, principles_present
+
+
+class TestCorpus:
+    def test_multiple_schemes(self):
+        assert len(SCHEMES) >= 5
+
+    def test_names_unique(self):
+        names = [scheme.name for scheme in SCHEMES]
+        assert len(set(names)) == len(names)
+
+    def test_lookup(self):
+        assert scheme_by_name("mugged_in_city") is MUGGED_IN_CITY
+        with pytest.raises(KeyError):
+            scheme_by_name("nope")
+
+    def test_every_scheme_exhibits_all_principles(self):
+        """Section 5.3: schemes share the full set of core principles."""
+        for scheme in SCHEMES:
+            subject, body = scheme.fill(victim_name="Alex Smith")
+            found = principles_present(f"{subject}\n{body}")
+            missing = set(Principle) - set(found)
+            assert not missing, f"{scheme.name} lacks {missing}"
+
+    def test_fill_substitutes_fields(self):
+        subject, body = MUGGED_IN_CITY.fill(
+            victim_name="Alex Smith", city="Madrid", country="Spain",
+            amount=900)
+        assert "Madrid" in subject or "Madrid" in body
+        assert "Alex Smith" in body
+        assert "$900" in body
+
+    def test_keywords_present(self):
+        for scheme in SCHEMES:
+            assert scheme.keywords
+
+    def test_transfer_mechanism_named(self):
+        """Every scheme names an untraceable transfer channel by brand."""
+        for scheme in SCHEMES:
+            _, body = scheme.fill(victim_name="A B")
+            lowered = body.lower()
+            assert "western union" in lowered or "moneygram" in lowered

@@ -1,0 +1,37 @@
+from repro.scams.generator import ScamGenerator
+from repro.scams.principles import Principle, principles_present
+
+
+class TestScamGenerator:
+    def test_generates_complete_scams(self, rng):
+        generator = ScamGenerator(rng)
+        for _ in range(30):
+            scam = generator.generate("Alex Smith", "US")
+            assert scam.subject
+            assert "Alex Smith" in scam.body
+            assert set(principles_present(scam.body)) == set(Principle)
+
+    def test_destination_avoids_home_country(self, rng):
+        generator = ScamGenerator(rng)
+        for _ in range(100):
+            _city, country = generator._pick_destination("GB")
+            assert country.upper() != "GB"
+
+    def test_customized_adds_personal_opener(self, rng):
+        generator = ScamGenerator(rng)
+        scam = generator.generate("Alex Smith", "US", customized=True)
+        assert scam.customized
+        assert scam.body.startswith("I know it has been a while")
+
+    def test_amounts_plausible(self, rng):
+        generator = ScamGenerator(rng)
+        for _ in range(50):
+            scam = generator.generate("A B", "US")
+            assert 400 <= scam.amount <= 2000
+            assert scam.amount % 50 == 0
+
+    def test_scheme_variety(self, rng):
+        generator = ScamGenerator(rng)
+        names = {generator.generate("A B", "US").scheme_name
+                 for _ in range(80)}
+        assert len(names) >= 3

@@ -1,0 +1,25 @@
+"""Run the doctests embedded in library docstrings, keeping the
+documented examples honest."""
+
+import doctest
+
+import pytest
+
+import repro.util.clock
+import repro.util.distributions
+import repro.util.ids
+import repro.util.rng
+
+MODULES = (
+    repro.util.rng,
+    repro.util.ids,
+    repro.util.distributions,
+    repro.util.clock,
+)
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"

@@ -1,0 +1,86 @@
+import pytest
+
+from repro.util.render import (
+    ascii_table,
+    bar_chart,
+    format_percent,
+    series_table,
+    sparkline,
+)
+
+
+class TestFormatPercent:
+    def test_default_digits(self):
+        assert format_percent(0.1378) == "13.8%"
+
+    def test_custom_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+
+
+class TestAsciiTable:
+    def test_contains_headers_and_cells(self):
+        table = ascii_table(["Name", "N"], [("alpha", 3), ("beta", 14)])
+        assert "Name" in table
+        assert "alpha" in table
+        assert "14" in table
+
+    def test_title_on_first_line(self):
+        table = ascii_table(["A"], [(1,)], title="My table")
+        assert table.splitlines()[0] == "My table"
+
+    def test_rows_must_match_headers(self):
+        with pytest.raises(ValueError):
+            ascii_table(["A", "B"], [(1,)])
+
+    def test_numeric_right_aligned(self):
+        table = ascii_table(["Value"], [(1,), (1000,)])
+        lines = [l for l in table.splitlines() if "| " in l][1:]
+        assert lines[0].index("1") > lines[1].index("1000")
+
+    def test_all_lines_equal_width(self):
+        table = ascii_table(["A", "B"], [("x", 1), ("longer", 22)])
+        widths = {len(line) for line in table.splitlines()}
+        assert len(widths) == 1
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_chart(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_value_format(self):
+        chart = bar_chart(["a"], [12.345], value_format="{:.2f}%")
+        assert "12.35%" in chart
+
+
+class TestSeriesTable:
+    def test_renders_pairs(self):
+        table = series_table([(1.0, 0.5)], "x", "y")
+        assert "0.5" in table
+        assert "x" in table
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_constant_series(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_rises(self):
+        glyphs = " .:-=+*#%@"
+        line = sparkline([0, 9])
+        assert glyphs.index(line[0]) < glyphs.index(line[1])

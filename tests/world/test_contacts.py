@@ -1,0 +1,96 @@
+import pytest
+
+from repro.world.contacts import ContactGraph, build_small_world
+
+
+class TestContactGraph:
+    def test_connect_symmetric(self):
+        graph = ContactGraph()
+        graph.connect("a", "b")
+        assert graph.are_connected("a", "b")
+        assert graph.are_connected("b", "a")
+
+    def test_self_loop_rejected(self):
+        graph = ContactGraph()
+        with pytest.raises(ValueError):
+            graph.connect("a", "a")
+
+    def test_contacts_sorted(self):
+        graph = ContactGraph()
+        graph.connect("x", "c")
+        graph.connect("x", "a")
+        assert graph.contacts_of("x") == ["a", "c"]
+
+    def test_degree_and_edges(self):
+        graph = ContactGraph()
+        graph.connect("a", "b")
+        graph.connect("a", "c")
+        assert graph.degree("a") == 2
+        assert graph.edge_count() == 2
+        assert len(graph) == 3
+
+    def test_duplicate_edge_not_double_counted(self):
+        graph = ContactGraph()
+        graph.connect("a", "b")
+        graph.connect("b", "a")
+        assert graph.edge_count() == 1
+
+    def test_neighborhood_excludes_seed(self):
+        graph = ContactGraph()
+        graph.connect("a", "b")
+        graph.connect("b", "c")
+        neighborhood = graph.neighborhood({"a"})
+        assert neighborhood == {"b"}
+        assert graph.neighborhood({"a", "b"}) == {"c"}
+
+    def test_unknown_user_has_no_contacts(self):
+        assert ContactGraph().contacts_of("ghost") == []
+
+
+class TestSmallWorld:
+    def test_degree_near_target(self, rng):
+        users = [f"user-{i:06d}" for i in range(200)]
+        graph = build_small_world(users, rng, mean_degree=8)
+        degrees = [graph.degree(user) for user in users]
+        average = sum(degrees) / len(degrees)
+        assert 6.0 < average < 9.0
+
+    def test_everyone_present(self, rng):
+        users = [f"user-{i:06d}" for i in range(50)]
+        graph = build_small_world(users, rng)
+        assert len(graph) == 50
+
+    def test_no_self_loops(self, rng):
+        users = [f"user-{i:06d}" for i in range(80)]
+        graph = build_small_world(users, rng)
+        for user in users:
+            assert user not in graph.contacts_of(user)
+
+    def test_odd_degree_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_small_world(["a", "b"], rng, mean_degree=3)
+
+    def test_bad_rewire_probability_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_small_world(["a", "b"], rng, rewire_probability=1.5)
+
+    def test_tiny_population(self, rng):
+        graph = build_small_world(["only"], rng)
+        assert graph.degree("only") == 0
+
+    def test_clustering_exists(self, rng):
+        """Ring-lattice base means neighbors of neighbors are often
+        neighbors — the property that makes scam chains community-local."""
+        users = [f"user-{i:06d}" for i in range(300)]
+        graph = build_small_world(users, rng, mean_degree=8,
+                                  rewire_probability=0.05)
+        closed = total = 0
+        for user in users[:60]:
+            contacts = graph.contacts_of(user)
+            for i in range(len(contacts)):
+                for j in range(i + 1, len(contacts)):
+                    total += 1
+                    if graph.are_connected(contacts[i], contacts[j]):
+                        closed += 1
+        assert total > 0
+        assert closed / total > 0.25  # random graph would be ~degree/n ≈ 0.03

@@ -1,0 +1,152 @@
+import pytest
+
+from repro.net.email_addr import EmailAddress
+from repro.world.mailbox import MailFilter, Mailbox
+from repro.world.messages import EmailMessage, Folder
+
+OWNER = EmailAddress("owner", "primarymail.com")
+
+
+def make_message(message_id, sender="alice", folder_time=100, **overrides):
+    defaults = dict(
+        message_id=message_id,
+        sender=EmailAddress(sender, "primarymail.com"),
+        recipients=(OWNER,),
+        subject="hello",
+        sent_at=folder_time,
+    )
+    defaults.update(overrides)
+    return EmailMessage(**defaults)
+
+
+@pytest.fixture
+def mailbox():
+    return Mailbox(OWNER)
+
+
+class TestDelivery:
+    def test_deliver_to_inbox(self, mailbox):
+        mailbox.deliver(make_message("msg-000000"))
+        assert len(mailbox) == 1
+        assert mailbox.messages(folder=Folder.INBOX)
+
+    def test_duplicate_delivery_rejected(self, mailbox):
+        mailbox.deliver(make_message("msg-000000"))
+        with pytest.raises(ValueError):
+            mailbox.deliver(make_message("msg-000000"))
+
+    def test_file_sent(self, mailbox):
+        mailbox.file_sent(make_message("msg-000001"))
+        assert mailbox.messages(folder=Folder.SENT)
+
+    def test_arrival_order_preserved(self, mailbox):
+        mailbox.deliver(make_message("msg-000002", folder_time=50))
+        mailbox.deliver(make_message("msg-000001", folder_time=10))
+        ids = [m.message_id for m in mailbox.messages()]
+        assert ids == ["msg-000002", "msg-000001"]
+
+
+class TestDeletion:
+    def test_delete_and_restore(self, mailbox):
+        mailbox.deliver(make_message("msg-000000"))
+        mailbox.delete("msg-000000")
+        assert len(mailbox) == 0
+        assert mailbox.messages(include_deleted=True)
+        mailbox.restore("msg-000000")
+        assert len(mailbox) == 1
+
+    def test_delete_all(self, mailbox):
+        for index in range(5):
+            mailbox.deliver(make_message(f"msg-{index:06d}"))
+        assert mailbox.delete_all() == 5
+        assert len(mailbox) == 0
+        # Second sweep deletes nothing new.
+        assert mailbox.delete_all() == 0
+
+
+class TestFilters:
+    def test_move_filter(self, mailbox):
+        mailbox.add_filter(MailFilter(
+            filter_id="filter-000000", created_at=0,
+            created_by_hijacker=True, move_to=Folder.TRASH))
+        mailbox.deliver(make_message("msg-000000"))
+        assert mailbox.messages(folder=Folder.TRASH)
+
+    def test_forward_filter_invokes_hook(self, mailbox):
+        forwarded = []
+        mailbox.on_forward = lambda message, to: forwarded.append((message, to))
+        target = EmailAddress("dopp", "inboxly.net")
+        mailbox.add_filter(MailFilter(
+            filter_id="filter-000000", created_at=0,
+            created_by_hijacker=True, forward_to=target))
+        mailbox.deliver(make_message("msg-000000"))
+        assert forwarded and forwarded[0][1] == target
+
+    def test_domain_scoped_filter(self, mailbox):
+        mailbox.add_filter(MailFilter(
+            filter_id="filter-000000", created_at=0, created_by_hijacker=True,
+            match_sender_domain="other.net", move_to=Folder.SPAM))
+        mailbox.deliver(make_message("msg-000000"))  # from primarymail.com
+        assert mailbox.messages(folder=Folder.INBOX)
+
+    def test_remove_hijacker_filters(self, mailbox):
+        mailbox.add_filter(MailFilter("filter-000000", 0, True))
+        mailbox.add_filter(MailFilter("filter-000001", 0, False))
+        assert mailbox.has_hijacker_filter()
+        assert mailbox.remove_hijacker_filters() == 1
+        assert not mailbox.has_hijacker_filter()
+        assert len(mailbox.filters) == 1
+
+
+class TestViewsAndSearch:
+    def test_search(self, mailbox):
+        mailbox.deliver(make_message("msg-000000", subject="wire transfer"))
+        mailbox.deliver(make_message("msg-000001", subject="lunch"))
+        assert len(mailbox.search("wire transfer")) == 1
+
+    def test_search_skips_deleted(self, mailbox):
+        mailbox.deliver(make_message("msg-000000", subject="wire transfer"))
+        mailbox.delete("msg-000000")
+        assert mailbox.search("wire transfer") == []
+
+    def test_starred_view(self, mailbox):
+        mailbox.deliver(make_message("msg-000000", starred=True))
+        mailbox.deliver(make_message("msg-000001"))
+        assert len(mailbox.starred()) == 1
+
+    def test_contact_addresses_excludes_owner_and_dedups(self, mailbox):
+        mailbox.deliver(make_message("msg-000000", sender="alice"))
+        mailbox.deliver(make_message("msg-000001", sender="alice"))
+        mailbox.deliver(make_message("msg-000002", sender="bob"))
+        contacts = mailbox.contact_addresses()
+        assert len(contacts) == 2
+        assert OWNER not in contacts
+
+    def test_contacts_include_deleted_history(self, mailbox):
+        mailbox.deliver(make_message("msg-000000", sender="alice"))
+        mailbox.delete_all()
+        assert mailbox.contact_addresses()
+
+
+class TestSnapshots:
+    def test_restore_undoes_hijacker_damage(self, mailbox):
+        mailbox.deliver(make_message("msg-000000"))
+        snapshot = mailbox.snapshot(now=500)
+        mailbox.delete_all()
+        mailbox.add_filter(MailFilter("filter-000000", 501, True))
+        changed = mailbox.restore_from(snapshot)
+        assert changed == 1
+        assert len(mailbox) == 1
+        assert not mailbox.filters
+
+    def test_restore_leaves_newer_mail_alone(self, mailbox):
+        mailbox.deliver(make_message("msg-000000"))
+        snapshot = mailbox.snapshot(now=500)
+        mailbox.deliver(make_message("msg-000001"))
+        mailbox.restore_from(snapshot)
+        assert len(mailbox) == 2
+
+    def test_restore_idempotent_when_untouched(self, mailbox):
+        mailbox.deliver(make_message("msg-000000"))
+        snapshot = mailbox.snapshot(now=500)
+        assert mailbox.restore_from(snapshot) == 0

@@ -1,0 +1,76 @@
+import pytest
+
+from repro.net.email_addr import EmailAddress
+from repro.world.messages import EmailMessage, Folder, MessageKind
+
+
+def make_message(**overrides):
+    defaults = dict(
+        message_id="msg-000000",
+        sender=EmailAddress("alice", "primarymail.com"),
+        recipients=(EmailAddress("bob", "primarymail.com"),),
+        subject="hello there",
+        sent_at=100,
+    )
+    defaults.update(overrides)
+    return EmailMessage(**defaults)
+
+
+class TestValidation:
+    def test_requires_recipients(self):
+        with pytest.raises(ValueError):
+            make_message(recipients=())
+
+    def test_requires_non_negative_time(self):
+        with pytest.raises(ValueError):
+            make_message(sent_at=-1)
+
+
+class TestSearchMatching:
+    def test_matches_subject(self):
+        assert make_message(subject="Wire Transfer receipt").matches("wire transfer")
+
+    def test_matches_keywords(self):
+        message = make_message(keywords=("bank statement",))
+        assert message.matches("bank statement")
+        assert message.matches("bank")  # substring semantics
+
+    def test_matches_body(self):
+        assert make_message(body="send via Western Union").matches("western union")
+
+    def test_no_match(self):
+        assert not make_message().matches("passport")
+
+    def test_is_starred_operator(self):
+        message = make_message(starred=True)
+        assert message.matches("is:starred")
+        assert not make_message(starred=False).matches("is:starred")
+
+    def test_filename_operator(self):
+        message = make_message(keywords=("jpg",))
+        assert message.matches("filename:(jpg or jpeg or png)")
+        assert not make_message(keywords=("pdf",)).matches(
+            "filename:(jpg or jpeg or png)")
+
+    def test_case_insensitive(self):
+        assert make_message(subject="WIRE TRANSFER").matches("Wire Transfer")
+
+
+class TestSemantics:
+    def test_recipient_count(self):
+        message = make_message(recipients=(
+            EmailAddress("a", "x.com"), EmailAddress("b", "x.com")))
+        assert message.recipient_count == 2
+
+    def test_abusive_kinds(self):
+        for kind in (MessageKind.PHISHING, MessageKind.SCAM,
+                     MessageKind.BULK_SPAM):
+            assert make_message(kind=kind).is_abusive()
+        for kind in (MessageKind.ORGANIC, MessageKind.FINANCIAL,
+                     MessageKind.NOTIFICATION):
+            assert not make_message(kind=kind).is_abusive()
+
+    def test_default_placement(self):
+        message = make_message()
+        assert message.folder is Folder.INBOX
+        assert not message.deleted

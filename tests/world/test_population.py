@@ -1,0 +1,118 @@
+import pytest
+
+from repro.net.domains import PRIMARY_PROVIDER
+from repro.net.phones import PhoneNumberPlan
+from repro.util.ids import IdMinter
+from repro.util.rng import RngRegistry
+from repro.world.messages import MessageKind
+from repro.world.population import (
+    Population,
+    PopulationConfig,
+    build_population,
+    generate_password,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    rngs = RngRegistry(99)
+    return build_population(
+        PopulationConfig(n_users=300, n_external_edu=120, n_external_other=60,
+                         mean_contacts=6),
+        rngs, IdMinter(), PhoneNumberPlan(rngs.stream("phones")),
+    )
+
+
+class TestBuildPopulation:
+    def test_counts(self, population):
+        assert len(population) == 300
+        assert len(population.external_victims) == 180
+
+    def test_all_addresses_on_primary_provider(self, population):
+        for account in population.accounts.values():
+            assert account.address.domain == PRIMARY_PROVIDER
+
+    def test_lookup_by_address(self, population):
+        account = next(iter(population.accounts.values()))
+        assert population.lookup_address(account.address) is account
+
+    def test_account_of_user(self, population):
+        account = next(iter(population.accounts.values()))
+        assert population.account_of_user(account.owner.user_id) is account
+
+    def test_contacts_resolve_to_accounts(self, population):
+        account = next(iter(population.accounts.values()))
+        for contact in population.contacts_of_account(account):
+            assert contact.account_id in population.accounts
+
+    def test_mailboxes_seeded(self, population):
+        sizes = [len(account.mailbox) for account in population.accounts.values()]
+        assert sum(sizes) / len(sizes) > 5
+
+    def test_financial_users_have_searchable_finance_mail(self, population):
+        financial_accounts = [
+            account for account in population.accounts.values()
+            if account.owner.traits.has_financial_threads
+            and len(account.mailbox) >= 20
+        ]
+        assert financial_accounts
+        with_hits = sum(
+            1 for account in financial_accounts
+            if any(m.kind is MessageKind.FINANCIAL
+                   for m in account.mailbox.messages())
+        )
+        assert with_hits / len(financial_accounts) > 0.7
+
+    def test_mailbox_contacts_include_externals(self, population):
+        account = max(population.accounts.values(),
+                      key=lambda a: len(a.mailbox))
+        correspondents = account.mailbox.contact_addresses()
+        externals = [c for c in correspondents
+                     if c.domain != PRIMARY_PROVIDER]
+        assert externals
+
+    def test_recovery_rates_roughly_configured(self, population):
+        accounts = list(population.accounts.values())
+        with_phone = sum(1 for a in accounts if a.recovery.phone) / len(accounts)
+        assert 0.45 < with_phone < 0.65
+
+    def test_external_pool_mostly_edu(self, population):
+        edu = [v for v in population.external_victims
+               if v.address.tld == "edu"]
+        assert len(edu) == 120
+        assert all(v.spam_filter_strength < 0.5 for v in edu)
+
+    def test_deterministic_rebuild(self):
+        def build():
+            rngs = RngRegistry(5)
+            return build_population(
+                PopulationConfig(n_users=50, n_external_edu=10,
+                                 n_external_other=5),
+                rngs, IdMinter(), PhoneNumberPlan(rngs.stream("phones")),
+            )
+
+        first, second = build(), build()
+        assert sorted(first.accounts) == sorted(second.accounts)
+        for account_id in first.accounts:
+            assert (first.accounts[account_id].password
+                    == second.accounts[account_id].password)
+            assert (len(first.accounts[account_id].mailbox)
+                    == len(second.accounts[account_id].mailbox))
+
+
+class TestConfigValidation:
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_users=0)
+
+    def test_rejects_odd_contacts(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(mean_contacts=7)
+
+
+class TestPasswords:
+    def test_generated_passwords_plausible(self, rng):
+        for _ in range(50):
+            password = generate_password(rng)
+            assert len(password) >= 8
+            assert any(c.isdigit() for c in password)
