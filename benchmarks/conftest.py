@@ -3,7 +3,11 @@
 Each bench measures the *analysis* computation (the part a user reruns
 while exploring data) and prints/saves the artifact with the paper's
 numbers alongside ours.  Simulation construction is deliberately outside
-the timed region — it is the workload generator, not the measurement.
+the timed region — it is the workload generator, not the measurement —
+so multi-world fixtures build their worlds through
+:func:`repro.core.parallel.run_worlds`: construction wall-clock drops
+with core count while the per-seed results (and therefore every timed
+analysis) stay bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import pathlib
 import pytest
 
 from repro import Simulation
+from repro.core.parallel import run_worlds
 from repro.core.scenarios import (
     attribution_study,
     contact_lift_study,
@@ -71,22 +76,22 @@ def contact_lift_worlds():
     """Dataset 9 workload: three independent large, low-intensity worlds
     (the per-world hijack counts are single digits; only the pooled
     ratio is stable)."""
-    results = []
-    for seed in (7, 11, 23):
-        config = contact_lift_study(seed).with_overrides(
+    configs = [
+        contact_lift_study(seed).with_overrides(
             horizon_days=35, n_users=18_000, campaigns_per_week=10)
-        results.append(Simulation(config).run())
-    return results
+        for seed in (7, 11, 23)
+    ]
+    return run_worlds(configs)
 
 
 @pytest.fixture(scope="session")
 def era_pair():
     """(Oct-2011-like, Nov-2012-like) results for Section 5.4."""
     overrides = dict(horizon_days=21, n_users=5_000, campaigns_per_week=18)
-    early = Simulation(
-        retention_study(Era.Y2011, seed=7).with_overrides(**overrides)).run()
-    late = Simulation(
-        retention_study(Era.Y2012, seed=7).with_overrides(**overrides)).run()
+    early, late = run_worlds([
+        retention_study(Era.Y2011, seed=7).with_overrides(**overrides),
+        retention_study(Era.Y2012, seed=7).with_overrides(**overrides),
+    ])
     return early, late
 
 

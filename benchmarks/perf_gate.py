@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Perf gate: the measurement surface must stay fast.
+
+Microbenchmarks the indexed :class:`repro.logs.store.LogStore` against
+the naive reference (:class:`repro.logs.reference.NaiveLogStore`) on a
+10^5-event store — the windowed, account-filtered query every analysis
+leans on — plus the token-indexed ``Mailbox.search`` against a full
+scan.  Asserts the indexed query lands under a generous absolute
+ceiling (so CI catches a regression, not machine noise) and writes the
+numbers to ``BENCH_logstore.json`` at the repo root so the perf
+trajectory is tracked PR over PR.
+
+Run directly (it is also exercised as a smoke target by the test
+suite's tier-1 run via ``python benchmarks/perf_gate.py --quick``):
+
+    PYTHONPATH=src python benchmarks/perf_gate.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.config import SimulationConfig
+from repro.core.parallel import run_world
+from repro.logs.events import Actor, LoginEvent, NotificationEvent
+from repro.logs.reference import NaiveLogStore
+from repro.logs.store import LogStore
+from repro.util.clock import DAY
+from repro.world.mailbox import Mailbox
+from repro.world.messages import EmailMessage
+from repro.net.email_addr import EmailAddress
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_logstore.json"
+
+#: Generous absolute ceiling for one indexed windowed+filtered query.
+#: The measured time is ~3 orders of magnitude below this on 2020s
+#: hardware; the gate exists to catch accidental O(n) regressions.
+QUERY_CEILING_SECONDS = 5e-3
+
+
+def _mulberry(state: int):
+    """Tiny deterministic PRNG (no random import needed for a bench)."""
+    def step() -> float:
+        nonlocal state
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        return (state >> 11) / float(1 << 53)
+    return step
+
+
+def build_event_stream(n_events: int, n_accounts: int):
+    """A near-monotonic login stream like a simulation emits."""
+    rand = _mulberry(7)
+    events = []
+    timestamp = 0
+    for index in range(n_events):
+        timestamp += int(rand() * 3)
+        jitter = -1 if rand() < 0.02 and timestamp > 0 else 0  # rare backfill
+        account = f"acct-{int(rand() * n_accounts):06d}"
+        actor = Actor.MANUAL_HIJACKER if rand() < 0.05 else Actor.OWNER
+        events.append(LoginEvent(
+            timestamp=timestamp + jitter, account_id=account,
+            password_correct=True, succeeded=True, actor=actor,
+        ))
+    return events
+
+
+def bench_store_queries(events, n_queries: int):
+    """(naive_seconds, indexed_seconds, checksum) for the hot query."""
+    naive, indexed = NaiveLogStore(), LogStore()
+    naive.extend(events)
+    indexed.extend(events)
+    horizon = events[-1].timestamp
+    accounts = sorted({e.account_id for e in events[:2000]})
+
+    def workload(store, *, use_index):
+        checksum = 0
+        for index in range(n_queries):
+            since = (index * 37) % max(1, horizon - DAY)
+            until = since + DAY
+            account = accounts[index % len(accounts)]
+            if use_index:
+                hits = store.query(LoginEvent, since=since, until=until,
+                                   account_id=account)
+            else:
+                hits = store.query(
+                    LoginEvent, since=since, until=until,
+                    where=lambda e: e.account_id == account)
+            checksum += len(hits)
+        return checksum
+
+    start = time.perf_counter()
+    naive_checksum = workload(naive, use_index=False)
+    naive_seconds = time.perf_counter() - start
+
+    indexed.query(LoginEvent)  # pay the one-time lazy sort outside the loop
+    start = time.perf_counter()
+    indexed_checksum = workload(indexed, use_index=True)
+    indexed_seconds = time.perf_counter() - start
+
+    if naive_checksum != indexed_checksum:
+        raise AssertionError(
+            f"result divergence: naive={naive_checksum} indexed={indexed_checksum}")
+    return naive_seconds, indexed_seconds, indexed_checksum
+
+
+def bench_mailbox_search(n_messages: int, n_searches: int):
+    """(scan_seconds, indexed_seconds) for keyword mailbox search."""
+    owner = EmailAddress("owner", "primarymail.com")
+    mailbox = Mailbox(owner)
+    rand = _mulberry(11)
+    keyword_pool = ("bank", "statement", "invoice", "passport", "photos",
+                    "meeting", "wire", "transfer", "receipt", "taxes")
+    for index in range(n_messages):
+        first = keyword_pool[int(rand() * len(keyword_pool))]
+        second = keyword_pool[int(rand() * len(keyword_pool))]
+        mailbox.deliver(EmailMessage(
+            message_id=f"msg-{index:06d}",
+            sender=EmailAddress(f"peer{index % 50}", "inboxly.net"),
+            recipients=(owner,),
+            subject=f"re: {first}",
+            sent_at=index,
+            keywords=(second,),
+        ))
+    queries = ["wire transfer", "bank statement", "passport", "receipt"]
+
+    start = time.perf_counter()
+    scan_total = 0
+    for index in range(n_searches):
+        query = queries[index % len(queries)]
+        scan_total += sum(1 for m in mailbox.messages() if m.matches(query))
+    scan_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    indexed_total = 0
+    for index in range(n_searches):
+        indexed_total += len(mailbox.search(queries[index % len(queries)]))
+    indexed_seconds = time.perf_counter() - start
+
+    if scan_total != indexed_total:
+        raise AssertionError(
+            f"search divergence: scan={scan_total} indexed={indexed_total}")
+    return scan_seconds, indexed_seconds
+
+
+def bench_world_smoke(n_queries: int):
+    """Run a small fixed-seed world and time its real hot query.
+
+    The :meth:`Simulation._was_notified` shape — a time window plus an
+    account filter — is the first migrated call site; this times it
+    against the world's actual log stream.
+    """
+    config = SimulationConfig(
+        seed=7, n_users=1_500, n_external_edu=300, n_external_other=120,
+        horizon_days=10, campaigns_per_week=12, campaign_target_count=300,
+    )
+    start = time.perf_counter()
+    result = run_world(config)
+    build_seconds = time.perf_counter() - start
+    store = result.store
+    accounts = store.accounts_seen()
+    horizon = result.horizon_minutes
+
+    start = time.perf_counter()
+    checksum = 0
+    for index in range(n_queries):
+        account = accounts[index % len(accounts)]
+        since = (index * 997) % horizon
+        checksum += len(store.query(
+            NotificationEvent, since=since, until=since + DAY,
+            account_id=account))
+        checksum += len(store.query(
+            LoginEvent, since=since, until=since + DAY, account_id=account))
+    query_seconds = time.perf_counter() - start
+    return {
+        "seed": config.seed,
+        "n_users": config.n_users,
+        "horizon_days": config.horizon_days,
+        "n_events": len(store),
+        "build_s": round(build_seconds, 4),
+        "n_queries": 2 * n_queries,
+        "query_total_s": round(query_seconds, 6),
+        "query_per_call_s": round(query_seconds / (2 * n_queries), 9),
+        "checksum": checksum,
+    }
+
+
+def run_gate(n_events: int, n_queries: int, output: pathlib.Path) -> dict:
+    events = build_event_stream(n_events, n_accounts=500)
+    naive_seconds, indexed_seconds, checksum = bench_store_queries(
+        events, n_queries)
+    scan_seconds, search_seconds = bench_mailbox_search(
+        n_messages=2_000, n_searches=200)
+    world = bench_world_smoke(n_queries)
+
+    per_query = indexed_seconds / n_queries
+    report = {
+        "store": {
+            "n_events": n_events,
+            "n_queries": n_queries,
+            "workload": "time window (1 day) + account filter",
+            "naive_total_s": round(naive_seconds, 6),
+            "indexed_total_s": round(indexed_seconds, 6),
+            "indexed_per_query_s": round(per_query, 9),
+            "speedup": round(naive_seconds / max(indexed_seconds, 1e-12), 1),
+            "checksum": checksum,
+        },
+        "mailbox_search": {
+            "n_messages": 2_000,
+            "n_searches": 200,
+            "scan_total_s": round(scan_seconds, 6),
+            "indexed_total_s": round(search_seconds, 6),
+            "speedup": round(scan_seconds / max(search_seconds, 1e-12), 1),
+        },
+        "world_smoke": world,
+        "gate": {
+            "per_query_ceiling_s": QUERY_CEILING_SECONDS,
+            "passed": (per_query < QUERY_CEILING_SECONDS
+                       and world["query_per_call_s"] < QUERY_CEILING_SECONDS),
+        },
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=100_000)
+    parser.add_argument("--queries", type=int, default=200)
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke sizing for CI (10k events)")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.events, args.queries = 10_000, 50
+
+    report = run_gate(args.events, args.queries, args.output)
+    store = report["store"]
+    search = report["mailbox_search"]
+    print(f"LogStore.query on {store['n_events']:,} events x "
+          f"{store['n_queries']} windowed+account queries:")
+    print(f"  naive   {store['naive_total_s']:.4f}s")
+    print(f"  indexed {store['indexed_total_s']:.4f}s "
+          f"({store['speedup']}x, {store['indexed_per_query_s'] * 1e6:.1f}us/query)")
+    print(f"Mailbox.search on {search['n_messages']:,} messages x "
+          f"{search['n_searches']} queries: {search['scan_total_s']:.4f}s -> "
+          f"{search['indexed_total_s']:.4f}s ({search['speedup']}x)")
+    world = report["world_smoke"]
+    print(f"World smoke (seed {world['seed']}, {world['n_users']} users, "
+          f"{world['n_events']} events): built in {world['build_s']}s, "
+          f"{world['query_per_call_s'] * 1e6:.1f}us/windowed account query")
+    print(f"wrote {args.output}")
+    if not report["gate"]["passed"]:
+        print(f"GATE FAILED: {store['indexed_per_query_s']}s/query over the "
+              f"{QUERY_CEILING_SECONDS}s ceiling", file=sys.stderr)
+        return 1
+    print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,11 +62,8 @@ def hijacker_searches(store: LogStore,
     """
     wanted = set(case_account_ids) if case_account_ids is not None else None
     return store.query(
-        SearchEvent,
-        where=lambda e: (
-            e.actor is Actor.MANUAL_HIJACKER
-            and (wanted is None or e.account_id in wanted)
-        ),
+        SearchEvent, actor=Actor.MANUAL_HIJACKER,
+        where=None if wanted is None else (lambda e: e.account_id in wanted),
     )
 
 
@@ -80,11 +77,8 @@ def hijacker_logins(store: LogStore,
     """
     wanted = set(case_account_ids) if case_account_ids is not None else None
     return store.query(
-        LoginEvent,
-        where=lambda e: (
-            e.actor is Actor.MANUAL_HIJACKER
-            and (wanted is None or e.account_id in wanted)
-        ),
+        LoginEvent, actor=Actor.MANUAL_HIJACKER,
+        where=None if wanted is None else (lambda e: e.account_id in wanted),
     )
 
 

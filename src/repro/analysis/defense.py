@@ -37,16 +37,15 @@ class DefensePoint:
 def evaluate(result: SimulationResult) -> DefensePoint:
     store = result.store
     owner_logins = store.query(
-        LoginEvent,
-        where=lambda e: e.actor is Actor.OWNER and e.password_correct,
+        LoginEvent, actor=Actor.OWNER,
+        where=lambda e: e.password_correct,
     )
     owner_challenged = sum(1 for e in owner_logins if e.challenged or e.blocked)
     owner_rate = owner_challenged / len(owner_logins) if owner_logins else 0.0
 
     hijacker_logins = store.query(
-        LoginEvent,
-        where=lambda e: (
-            e.actor is Actor.MANUAL_HIJACKER and e.password_correct),
+        LoginEvent, actor=Actor.MANUAL_HIJACKER,
+        where=lambda e: e.password_correct,
     )
     stopped = sum(
         1 for e in hijacker_logins
@@ -56,8 +55,7 @@ def evaluate(result: SimulationResult) -> DefensePoint:
     flags = store.query(
         HijackFlagEvent, where=lambda e: e.source == "behavioral")
     first_hijack_send = {}
-    for sent in store.query(
-            MailSentEvent, where=lambda e: e.actor is Actor.MANUAL_HIJACKER):
+    for sent in store.query(MailSentEvent, actor=Actor.MANUAL_HIJACKER):
         first_hijack_send.setdefault(sent.account_id, sent.timestamp)
     too_late: Optional[float] = None
     if flags:

@@ -36,9 +36,7 @@ def _accounts_per_day(result: SimulationResult, actor: Actor) -> float:
     of thousands of accounts a day at Google's scale); normalizing by
     population puts our smaller world on the same axis.
     """
-    logins = result.store.query(
-        LoginEvent, where=lambda e: e.actor is actor,
-    )
+    logins = result.store.query(LoginEvent, actor=actor)
     if not logins:
         return 0.0
     accounts = {login.account_id for login in logins}
@@ -92,7 +90,7 @@ def compute(result: SimulationResult) -> List[TaxonomyPoint]:
     # works a hand-picked target list whose size doesn't grow with the
     # provider — so its point uses raw accounts/day.
     targeted_logins = result.store.query(
-        LoginEvent, where=lambda e: e.actor is Actor.TARGETED_ATTACKER)
+        LoginEvent, actor=Actor.TARGETED_ATTACKER)
     if targeted_logins:
         accounts = {login.account_id for login in targeted_logins}
         days = max(1, (targeted_logins[-1].timestamp

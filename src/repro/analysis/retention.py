@@ -39,9 +39,8 @@ def compute(result: SimulationResult, sample: int = 575) -> RetentionRates:
     accounts = DatasetCatalog(result).d7_hijacked_accounts(sample=sample)
     wanted = {account.account_id for account in accounts}
     changes = result.store.query(
-        SettingsChangeEvent,
-        where=lambda e: (
-            e.actor is Actor.MANUAL_HIJACKER and e.account_id in wanted),
+        SettingsChangeEvent, actor=Actor.MANUAL_HIJACKER,
+        where=lambda e: e.account_id in wanted,
     )
     by_setting: Dict[str, Set[str]] = {}
     for change in changes:

@@ -30,11 +30,8 @@ def geolocate_hijack_ips(store: LogStore, geoip: GeoIpDatabase,
     """
     cases = set(case_account_ids)
     logins = store.query(
-        LoginEvent, since=since, until=until,
-        where=lambda e: (
-            e.account_id in cases and e.actor is Actor.MANUAL_HIJACKER
-            and e.ip is not None
-        ),
+        LoginEvent, since=since, until=until, actor=Actor.MANUAL_HIJACKER,
+        where=lambda e: e.account_id in cases and e.ip is not None,
     )
     distinct_ips = {login.ip for login in logins}
     located = [(ip, geoip.lookup(ip)) for ip in sorted(distinct_ips)]

@@ -49,11 +49,8 @@ def case_signature(store: LogStore, geoip: GeoIpDatabase,
                    account_id: str) -> Optional[GroupSignature]:
     """Build the signature for one case, or None without hijacker logins."""
     logins = store.query(
-        LoginEvent,
-        where=lambda e: (
-            e.account_id == account_id and e.actor is Actor.MANUAL_HIJACKER
-            and e.ip is not None
-        ),
+        LoginEvent, account_id=account_id, actor=Actor.MANUAL_HIJACKER,
+        where=lambda e: e.ip is not None,
     )
     if not logins:
         return None
@@ -62,10 +59,7 @@ def case_signature(store: LogStore, geoip: GeoIpDatabase,
     country = max(set(countries), key=countries.count) if countries else None
 
     searches = store.query(
-        SearchEvent,
-        where=lambda e: (
-            e.account_id == account_id and e.actor is Actor.MANUAL_HIJACKER
-        ),
+        SearchEvent, account_id=account_id, actor=Actor.MANUAL_HIJACKER,
     )
     # Majority vote over language-revealing queries; a lone borrowed
     # foreign term must not flip the case's language.

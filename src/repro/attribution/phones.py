@@ -25,11 +25,8 @@ def hijacker_phone_countries(store: LogStore, since: int = 0,
     """
     changes = store.query(
         SettingsChangeEvent, since=since, until=until,
-        where=lambda e: (
-            e.setting == "two_factor"
-            and e.actor is Actor.MANUAL_HIJACKER
-            and e.phone is not None
-        ),
+        actor=Actor.MANUAL_HIJACKER,
+        where=lambda e: e.setting == "two_factor" and e.phone is not None,
     )
     countries = []
     for change in changes:

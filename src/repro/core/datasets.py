@@ -163,8 +163,8 @@ class DatasetCatalog:
         sees only (ip → attempts).
         """
         logins = self.result.store.query(
-            LoginEvent,
-            where=lambda e: e.actor is Actor.MANUAL_HIJACKER and e.ip is not None,
+            LoginEvent, actor=Actor.MANUAL_HIJACKER,
+            where=lambda e: e.ip is not None,
         )
         by_ip: Dict[str, List[LoginEvent]] = {}
         for login in logins:
@@ -177,7 +177,7 @@ class DatasetCatalog:
 
     def d6_hijacker_searches(self) -> List[SearchEvent]:
         searches = self.result.store.query(
-            SearchEvent, where=lambda e: e.actor is Actor.MANUAL_HIJACKER,
+            SearchEvent, actor=Actor.MANUAL_HIJACKER,
         )
         self._record(6, "Keywords searched by hijackers",
                      len(searches), len(searches), "5.2")
@@ -340,12 +340,8 @@ class DatasetCatalog:
 
     def d14_hijacker_phones(self, sample: int = 300) -> List[PhoneNumber]:
         changes = self.result.store.query(
-            SettingsChangeEvent,
-            where=lambda e: (
-                e.setting == "two_factor"
-                and e.actor is Actor.MANUAL_HIJACKER
-                and e.phone is not None
-            ),
+            SettingsChangeEvent, actor=Actor.MANUAL_HIJACKER,
+            where=lambda e: e.setting == "two_factor" and e.phone is not None,
         )
         phones = [change.phone for change in changes]
         rng = self._rng("d14")

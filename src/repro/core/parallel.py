@@ -1,0 +1,67 @@
+"""Parallel multi-world execution.
+
+Several of the paper's statistics need *pools* of independent worlds —
+the 36x contact-lift experiment runs three large low-intensity worlds
+and only the pooled ratio is stable; the Section 5.4 era comparison runs
+a 2011 world and a 2012 world.  Worlds are embarrassingly parallel: a
+:class:`~repro.core.simulation.Simulation` is a pure function of its
+:class:`~repro.core.config.SimulationConfig` (every stochastic component
+draws from named child streams of ``config.seed``), so running them in
+separate processes changes wall-clock only, never results.
+
+Determinism contract:
+
+* ``run_worlds(configs)`` returns results in the same order as
+  ``configs``, and each result is bit-identical to
+  ``Simulation(config).run()`` executed serially in a fresh process —
+  there is no cross-world state to leak.
+* Parallelism is an execution detail: setting ``REPRO_PARALLEL=0`` (or
+  ``max_workers=1``) falls back to the serial loop and must produce the
+  same results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation, SimulationResult
+
+
+def run_world(config: SimulationConfig) -> SimulationResult:
+    """Build and run one world — the per-process unit of work."""
+    return Simulation(config).run()
+
+
+def default_workers(n_worlds: int) -> int:
+    """Worker count: one per world, capped at the machine's cores."""
+    return max(1, min(n_worlds, os.cpu_count() or 1))
+
+
+def parallelism_enabled() -> bool:
+    """Process-level parallelism honors the ``REPRO_PARALLEL`` kill switch."""
+    return os.environ.get("REPRO_PARALLEL", "1") != "0"
+
+
+def run_worlds(configs: Iterable[SimulationConfig],
+               max_workers: Optional[int] = None) -> List[SimulationResult]:
+    """Run independent worlds, across processes where possible.
+
+    Results come back in input order.  Falls back to the serial loop
+    when parallelism is disabled, only one world (or worker) is
+    requested, or the platform cannot spawn worker processes.
+    """
+    configs = list(configs)
+    workers = (default_workers(len(configs)) if max_workers is None
+               else max(1, min(max_workers, len(configs))))
+    if not parallelism_enabled() or workers <= 1 or len(configs) <= 1:
+        return [run_world(config) for config in configs]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_world, configs))
+    except (OSError, PermissionError):
+        # Restricted environments (no fork/sem support) degrade to serial.
+        return [run_world(config) for config in configs]

@@ -561,8 +561,7 @@ class Simulation:
 
     def _was_notified(self, account_id: str, start: int, end: int) -> bool:
         events = self.store.query(
-            NotificationEvent, since=start, until=end,
-            where=lambda e: e.account_id == account_id,
+            NotificationEvent, since=start, until=end, account_id=account_id,
         )
         return bool(events)
 

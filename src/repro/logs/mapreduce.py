@@ -12,7 +12,7 @@ code read like the pipeline the authors describe.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generic, Iterable, List, Tuple, TypeVar
+from typing import Callable, Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
 
 R = TypeVar("R")   # input record
 K = TypeVar("K")   # shuffle key
@@ -34,7 +34,8 @@ class MapReduceJob(Generic[R, K, V, O]):
 
 
 def run_job(job: MapReduceJob, records: Iterable[R],
-            combiner: Callable[[K, List[V]], List[V]] = None) -> Dict[K, O]:
+            combiner: Optional[Callable[[K, List[V]], List[V]]] = None,
+            ) -> Dict[K, O]:
     """Execute a job over ``records``.
 
     ``combiner`` optionally pre-folds each key's values (the classic

@@ -114,7 +114,7 @@ class DecoyInjector:
             logins = store.query(
                 LoginEvent,
                 since=record.submitted_at,
-                where=lambda e, a=record.account_id: e.account_id == a,
+                account_id=record.account_id,
             )
             deltas[record.account_id] = (
                 logins[0].timestamp - record.submitted_at if logins else None

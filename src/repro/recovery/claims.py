@@ -111,8 +111,7 @@ class RemediationEngine:
         Returns the effective flag time (earliest known).
         """
         flags = self.store.query(
-            HijackFlagEvent,
-            where=lambda e: e.account_id == account.account_id,
+            HijackFlagEvent, account_id=account.account_id,
         )
         if flags:
             return flags[0].timestamp

@@ -10,7 +10,7 @@ is a first-class operation here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.email_addr import EmailAddress
 from repro.world.messages import EmailMessage, Folder
@@ -54,6 +54,12 @@ class Mailbox:
         self.owner = owner
         self._messages: Dict[str, EmailMessage] = {}
         self._order: List[str] = []          # insertion order = arrival order
+        self._positions: Dict[str, int] = {}  # message id -> arrival index
+        #: Inverted index: haystack token -> message ids.  Message content
+        #: is immutable after delivery, so postings never go stale; only
+        #: placement (folder/starred/deleted) changes and search re-checks
+        #: it per candidate.
+        self._postings: Dict[str, Set[str]] = {}
         self.filters: List[MailFilter] = []
         #: Callback invoked when a filter forwards a message elsewhere.
         self.on_forward: Optional[Callable[[EmailMessage, EmailAddress], None]] = None
@@ -73,7 +79,10 @@ class Mailbox:
             if mail_filter.forward_to is not None and self.on_forward is not None:
                 self.on_forward(message, mail_filter.forward_to)
         self._messages[message.message_id] = message
+        self._positions[message.message_id] = len(self._order)
         self._order.append(message.message_id)
+        for token in message.search_tokens():
+            self._postings.setdefault(token, set()).add(message.message_id)
 
     def file_sent(self, message: EmailMessage) -> None:
         """Record an outgoing message in Sent Mail."""
@@ -117,8 +126,61 @@ class Mailbox:
         return [m for m in self.messages() if m.starred]
 
     def search(self, query: str) -> List[EmailMessage]:
-        """Full-mailbox search (the feature hijackers abuse, Section 5.2)."""
-        return [m for m in self.messages() if m.matches(query)]
+        """Full-mailbox search (the feature hijackers abuse, Section 5.2).
+
+        Keyword queries run off the token index: the query's most
+        selective term narrows the scan to candidate messages, which are
+        then verified with the exact :meth:`EmailMessage.matches`
+        predicate — so results are identical to a full scan.  A term with
+        no whitespace can only match *inside* one haystack token, which
+        makes the candidate set a true superset.  Operator queries that
+        the index cannot help with (``is:starred``) fall back to the
+        scan.
+        """
+        normalized = query.strip().lower()
+        if normalized == "is:starred":
+            return [m for m in self.messages() if m.matches(query)]
+        if normalized.startswith("filename:"):
+            body = normalized[len("filename:"):].strip("() ")
+            terms = [term.strip() for term in body.split(" or ") if term.strip()]
+            candidates: Set[str] = set()
+            for term in terms:
+                candidates |= self._candidates_for_term(term)
+            return self._verify_candidates(candidates, query)
+        terms = normalized.split()
+        if not terms:
+            return [m for m in self.messages() if m.matches(query)]
+        probe = max(terms, key=len)
+        return self._verify_candidates(self._candidates_for_term(probe), query)
+
+    def _candidates_for_term(self, term: str) -> Set[str]:
+        """Message ids whose haystack could contain ``term``.
+
+        Substring semantics: a space-free probe appearing anywhere in the
+        haystack must appear inside a single token, so the union of
+        postings for tokens containing the probe is an exact superset.
+        """
+        parts = term.split()
+        if not parts:
+            return set(self._positions)
+        probe = max(parts, key=len)
+        candidates: Set[str] = set()
+        for token, posting in self._postings.items():
+            if probe in token:
+                candidates |= posting
+        return candidates
+
+    def _verify_candidates(self, candidate_ids: Set[str],
+                           query: str) -> List[EmailMessage]:
+        """Run the exact match predicate over candidates in arrival order."""
+        result = []
+        for message_id in sorted(candidate_ids, key=self._positions.__getitem__):
+            message = self._messages[message_id]
+            if message.deleted:
+                continue
+            if message.matches(query):
+                result.append(message)
+        return result
 
     def contact_addresses(self) -> List[EmailAddress]:
         """Distinct correspondents, the hijacker's next victim list."""

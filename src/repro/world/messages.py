@@ -97,6 +97,15 @@ class EmailMessage:
         parts = (self.subject.lower(), self.body.lower())
         return " ".join(parts + tuple(k.lower() for k in self.keywords))
 
+    def search_tokens(self) -> frozenset:
+        """The whitespace-separated words of this message's search haystack.
+
+        Content fields (subject/body/keywords) never change after
+        delivery — only placement does — so mailboxes may index these
+        tokens once at delivery time.
+        """
+        return frozenset(self._haystack().split())
+
     @property
     def recipient_count(self) -> int:
         return len(self.recipients)

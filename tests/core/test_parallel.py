@@ -1,0 +1,58 @@
+"""The parallel world runner: determinism and ordering guarantees."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.parallel import default_workers, run_world, run_worlds
+from repro.logs.events import LoginEvent, MailSentEvent
+
+
+def tiny_config(seed):
+    return SimulationConfig(
+        seed=seed, n_users=250, n_external_edu=60, n_external_other=25,
+        horizon_days=3, campaigns_per_week=3, campaign_target_count=60,
+    )
+
+
+def _fingerprint(result):
+    """Enough of a result to detect any cross-process divergence."""
+    return (
+        result.summary(),
+        len(result.store),
+        result.store.query(LoginEvent),
+        result.store.query(MailSentEvent),
+        [report.outcome for report in result.incidents],
+    )
+
+
+@pytest.fixture(scope="module")
+def configs():
+    return [tiny_config(3), tiny_config(9)]
+
+
+def test_parallel_matches_serial_bit_identical(configs):
+    serial = [run_world(config) for config in configs]
+    parallel = run_worlds(configs, max_workers=2)
+    for expected, got in zip(serial, parallel):
+        assert _fingerprint(expected) == _fingerprint(got)
+
+
+def test_results_come_back_in_input_order(configs):
+    results = run_worlds(configs, max_workers=2)
+    assert [r.config.seed for r in results] == [c.seed for c in configs]
+
+
+def test_kill_switch_forces_serial(configs, monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "0")
+    results = run_worlds(configs, max_workers=2)
+    assert [r.config.seed for r in results] == [3, 9]
+
+
+def test_single_world_runs_inline():
+    (result,) = run_worlds([tiny_config(5)])
+    assert result.config.seed == 5
+
+
+def test_default_workers_bounds():
+    assert default_workers(0) == 1
+    assert 1 <= default_workers(3) <= 3

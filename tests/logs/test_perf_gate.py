@@ -1,0 +1,23 @@
+"""Smoke coverage for the perf gate (benchmarks/perf_gate.py).
+
+Runs the gate at quick sizing against a temp output so tier-1 catches a
+broken gate script or an indexed/naive result divergence — the gate
+cross-checks checksums between the two implementations on every run.
+"""
+
+import json
+
+from benchmarks import perf_gate
+
+
+def test_quick_gate_passes_and_writes_report(tmp_path):
+    output = tmp_path / "BENCH_logstore.json"
+    exit_code = perf_gate.main(
+        ["--quick", "--output", str(output)])
+    assert exit_code == 0
+    report = json.loads(output.read_text(encoding="utf-8"))
+    assert report["gate"]["passed"]
+    assert report["store"]["n_events"] == 10_000
+    # The gate is only honest if both implementations agreed.
+    assert report["store"]["checksum"] >= 0
+    assert report["world_smoke"]["n_events"] > 0

@@ -1,15 +1,15 @@
 import pytest
 
-from repro.logs.events import LoginEvent, SearchEvent
+from repro.logs.events import Actor, LoginEvent, SearchEvent
 from repro.logs.store import LogStore
 from repro.net.ip import IpAddress
 
 IP = IpAddress.parse("20.0.0.1")
 
 
-def login(timestamp, account="acct-000000", correct=True):
+def login(timestamp, account="acct-000000", correct=True, actor=Actor.OWNER):
     return LoginEvent(timestamp=timestamp, account_id=account, ip=IP,
-                      password_correct=correct, succeeded=correct)
+                      password_correct=correct, succeeded=correct, actor=actor)
 
 
 def search(timestamp, account="acct-000000", query="bank"):
@@ -76,6 +76,54 @@ class TestBookkeeping:
         assert len(store) == 2
 
 
+class TestIndexedFilters:
+    def test_account_id_filter(self, store):
+        events = store.query(LoginEvent, account_id="acct-000001")
+        assert [e.timestamp for e in events] == [20]
+
+    def test_account_id_filter_with_window(self, store):
+        assert store.query(LoginEvent, since=15, account_id="acct-000000") \
+            == [store.query(LoginEvent)[-1]]
+
+    def test_account_id_unknown_empty(self, store):
+        assert store.query(LoginEvent, account_id="acct-999999") == []
+
+    def test_actor_filter(self):
+        store = LogStore()
+        store.append(login(5))
+        store.append(login(3, actor=Actor.MANUAL_HIJACKER))
+        store.append(login(9, actor=Actor.MANUAL_HIJACKER))
+        hijacker = store.query(LoginEvent, actor=Actor.MANUAL_HIJACKER)
+        assert [e.timestamp for e in hijacker] == [3, 9]
+        assert len(store.query(LoginEvent, actor=Actor.OWNER)) == 1
+
+    def test_account_and_actor_combined(self):
+        store = LogStore()
+        store.append(login(1, account="acct-a"))
+        store.append(login(2, account="acct-a", actor=Actor.MANUAL_HIJACKER))
+        store.append(login(3, account="acct-b", actor=Actor.MANUAL_HIJACKER))
+        events = store.query(
+            LoginEvent, account_id="acct-a", actor=Actor.MANUAL_HIJACKER)
+        assert [e.timestamp for e in events] == [2]
+
+    def test_where_composes_with_indexed_filters(self, store):
+        events = store.query(
+            LoginEvent, account_id="acct-000000",
+            where=lambda e: e.timestamp > 15,
+        )
+        assert [e.timestamp for e in events] == [30]
+
+    def test_appends_after_read_stay_sorted(self, store):
+        assert [e.timestamp for e in store.query(LoginEvent)] == [10, 20, 30]
+        store.append(login(5))
+        store.append(login(25))
+        assert [e.timestamp for e in store.query(LoginEvent)] \
+            == [5, 10, 20, 25, 30]
+        assert [e.timestamp
+                for e in store.query(LoginEvent, account_id="acct-000000")] \
+            == [5, 10, 25, 30]
+
+
 class TestRemoveWhere:
     def test_erase_old_events(self, store):
         erased = store.remove_where(LoginEvent, lambda e: e.timestamp < 25)
@@ -87,3 +135,18 @@ class TestRemoveWhere:
     def test_erase_nothing(self, store):
         assert store.remove_where(LoginEvent, lambda e: False) == 0
         assert len(store) == 4
+
+    def test_erase_updates_secondary_indexes(self, store):
+        store.remove_where(LoginEvent, lambda e: e.timestamp < 25)
+        assert store.query(LoginEvent, account_id="acct-000001") == []
+        assert [e.timestamp
+                for e in store.query(LoginEvent, account_id="acct-000000")] \
+            == [30]
+        assert [e.timestamp
+                for e in store.query(LoginEvent, actor=Actor.OWNER)] == [30]
+
+    def test_erase_only_touches_matching_type(self, store):
+        store.remove_where(LoginEvent, lambda e: True)
+        assert [e.timestamp
+                for e in store.query(SearchEvent, account_id="acct-000000")] \
+            == [15]

@@ -128,6 +128,57 @@ class TestViewsAndSearch:
         assert mailbox.contact_addresses()
 
 
+class TestSearchIndex:
+    """The token index must be invisible: results identical to a scan."""
+
+    def naive_search(self, mailbox, query):
+        return [m for m in mailbox.messages() if m.matches(query)]
+
+    def fill(self, mailbox):
+        mailbox.deliver(make_message(
+            "msg-000000", subject="wire transfer pending",
+            keywords=("bank", "account statement")))
+        mailbox.deliver(make_message("msg-000001", subject="lunch friday"))
+        mailbox.deliver(make_message(
+            "msg-000002", subject="Q3 bank statement", body="see attached"))
+        mailbox.deliver(make_message(
+            "msg-000003", subject="starred thing", starred=True))
+        mailbox.deliver(make_message(
+            "msg-000004", subject="passport scans",
+            keywords=("passport", "photos")))
+
+    @pytest.mark.parametrize("query", [
+        "wire transfer", "bank", "statement", "BANK",
+        "is:starred", "filename:(passport or invoice)", "filename:()",
+        "nothing matches this", "transfer pending see",  # phrase across fields
+        "an",  # substring inside tokens ("bank", "pending")
+    ])
+    def test_matches_naive_scan(self, mailbox, query):
+        self.fill(mailbox)
+        assert mailbox.search(query) == self.naive_search(mailbox, query)
+
+    def test_matches_naive_scan_after_deletions(self, mailbox):
+        self.fill(mailbox)
+        mailbox.delete("msg-000000")
+        assert mailbox.search("bank") == self.naive_search(mailbox, "bank")
+        mailbox.restore("msg-000000")
+        assert mailbox.search("bank") == self.naive_search(mailbox, "bank")
+        mailbox.delete_all()
+        assert mailbox.search("bank") == []
+
+    def test_results_in_arrival_order(self, mailbox):
+        self.fill(mailbox)
+        assert [m.message_id for m in mailbox.search("bank")] \
+            == ["msg-000000", "msg-000002"]
+
+    def test_search_after_snapshot_restore(self, mailbox):
+        self.fill(mailbox)
+        snapshot = mailbox.snapshot(now=500)
+        mailbox.delete_all()
+        mailbox.restore_from(snapshot)
+        assert mailbox.search("bank") == self.naive_search(mailbox, "bank")
+
+
 class TestSnapshots:
     def test_restore_undoes_hijacker_damage(self, mailbox):
         mailbox.deliver(make_message("msg-000000"))
