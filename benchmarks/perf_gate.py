@@ -24,6 +24,7 @@ import pathlib
 import sys
 import time
 
+from repro import obs
 from repro.core.config import SimulationConfig
 from repro.core.parallel import run_world
 from repro.logs.events import Actor, LoginEvent, NotificationEvent
@@ -152,31 +153,38 @@ def bench_world_smoke(n_queries: int):
 
     The :meth:`Simulation._was_notified` shape — a time window plus an
     account filter — is the first migrated call site; this times it
-    against the world's actual log stream.
+    against the world's actual log stream.  The run executes under a
+    live :mod:`repro.obs` recorder, and its metrics snapshot rides along
+    in the report so the bench trajectory carries per-layer numbers
+    (phase spans, log-store index/query counters, mailbox-search
+    candidate sizes) — observability is determinism-safe, so the world
+    itself is unchanged by the recorder.
     """
     config = SimulationConfig(
         seed=7, n_users=1_500, n_external_edu=300, n_external_other=120,
         horizon_days=10, campaigns_per_week=12, campaign_target_count=300,
     )
-    start = time.perf_counter()
-    result = run_world(config)
-    build_seconds = time.perf_counter() - start
-    store = result.store
-    accounts = store.accounts_seen()
-    horizon = result.horizon_minutes
+    with obs.recording() as recorder:
+        start = time.perf_counter()
+        result = run_world(config)
+        build_seconds = time.perf_counter() - start
+        store = result.store
+        accounts = store.accounts_seen()
+        horizon = result.horizon_minutes
 
-    start = time.perf_counter()
-    checksum = 0
-    for index in range(n_queries):
-        account = accounts[index % len(accounts)]
-        since = (index * 997) % horizon
-        checksum += len(store.query(
-            NotificationEvent, since=since, until=since + DAY,
-            account_id=account))
-        checksum += len(store.query(
-            LoginEvent, since=since, until=since + DAY, account_id=account))
-    query_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        checksum = 0
+        for index in range(n_queries):
+            account = accounts[index % len(accounts)]
+            since = (index * 997) % horizon
+            checksum += len(store.query(
+                NotificationEvent, since=since, until=since + DAY,
+                account_id=account))
+            checksum += len(store.query(
+                LoginEvent, since=since, until=since + DAY, account_id=account))
+        query_seconds = time.perf_counter() - start
     return {
+        "obs": obs.metrics_snapshot(recorder),
         "seed": config.seed,
         "n_users": config.n_users,
         "horizon_days": config.horizon_days,

@@ -1,14 +1,19 @@
 """Command-line interface: ``python -m repro``.
 
 Runs a named scenario and prints the study report, a single analysis, or
-the headline metrics.
+the headline metrics.  With ``--metrics``/``--trace`` the run is
+instrumented by :mod:`repro.obs`: the artifact on stdout stays
+byte-identical (telemetry goes to stderr / the trace file), so
+observability never contaminates the measurement.
 
 Examples::
 
     python -m repro --scenario smoke --seed 7
     python -m repro --scenario exploitation --artifact figure8
     python -m repro --scenario decoy --artifact figure7 --seed 13
+    python -m repro --scenario smoke --metrics --trace /tmp/trace.json
     python -m repro --list-scenarios
+    python -m repro --list-artifacts
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import sys
 import time
 from typing import Callable, Dict
 
-from repro import Simulation
+from repro import Simulation, obs
 from repro.analysis import (
     contacts,
     defense,
@@ -95,6 +100,33 @@ ARTIFACTS: Dict[str, Callable[[SimulationResult], str]] = {
     "economics": _simple(revenue),
 }
 
+#: One-line description per artifact key (``--list-artifacts``).
+ARTIFACT_DESCRIPTIONS: Dict[str, str] = {
+    "report": "full study report: every table and figure in paper order",
+    "metrics": "headline summary metrics (14-dataset catalog scale)",
+    "table1": "Table 1: log datasets mined and their sizes",
+    "table2": "Table 2: phishing page targets by account type",
+    "table3": "Table 3: mailbox search terms hijackers profile with",
+    "figure1": "Figure 1: hijacking lifecycle timeline",
+    "figure2": "Figure 2: phishing email volume over the study window",
+    "figure3": "Figure 3: phishing email account-type mix",
+    "figure4": "Figure 4: victims arriving on phishing pages per day",
+    "figure5": "Figure 5: page submission (conversion) rates",
+    "figure6": "Figure 6: diurnal wave of the outlier Forms campaign",
+    "figure7": "Figure 7: time from decoy credential to first hijacker login",
+    "figure8": "Figure 8: hijacker response-time CDF to fresh credentials",
+    "figure9": "Figure 9: recovery latency distribution",
+    "figure10": "Figure 10: recovery success per verification channel",
+    "figure11": "Figure 11: hijacker login geolocation mix",
+    "figure12": "Figure 12: country codes of hijacker phone numbers",
+    "section5.2": "Section 5.2: profiling phase durations and search behavior",
+    "section5.3": "Section 5.3: scam/phish split and 36x contact-targeting lift",
+    "section5.4": "Section 5.4: account-retention tactic rates per era",
+    "section5.5": "Section 5.5: hijacker workweek (activity by weekday)",
+    "section8": "Section 8: defense stack evaluation",
+    "economics": "scam revenue model (extortion/wire amounts)",
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -111,6 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="what to print after the run (default: report)")
     parser.add_argument("--list-scenarios", action="store_true",
                         help="list scenario presets and exit")
+    parser.add_argument("--list-artifacts", action="store_true",
+                        help="list artifact keys with descriptions and exit")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a per-phase telemetry summary to stderr "
+                             "after the run (stdout stays byte-identical)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON of the run to "
+                             "PATH (open in Perfetto / chrome://tracing)")
     return parser
 
 
@@ -123,14 +163,32 @@ def main(argv=None) -> int:
                   f"{config.horizon_days:>3} days, "
                   f"{config.campaigns_per_week:>3} campaigns/week")
         return 0
+    if args.list_artifacts:
+        for name in sorted(ARTIFACTS):
+            print(f"{name:<12} {ARTIFACT_DESCRIPTIONS.get(name, '')}")
+        return 0
 
-    config = SCENARIOS[args.scenario](args.seed)
-    print(f"running scenario {args.scenario!r} (seed={args.seed}) ...",
-          file=sys.stderr)
-    started = time.time()
-    result = Simulation(config).run()
-    print(f"done in {time.time() - started:.1f}s\n", file=sys.stderr)
-    print(ARTIFACTS[args.artifact](result))
+    recorder = obs.enable() if (args.metrics or args.trace) else None
+    try:
+        config = SCENARIOS[args.scenario](args.seed)
+        print(f"running scenario {args.scenario!r} (seed={args.seed}) ...",
+              file=sys.stderr)
+        started = time.perf_counter()
+        result = Simulation(config).run()
+        print(f"done in {time.perf_counter() - started:.1f}s\n",
+              file=sys.stderr)
+        with obs.trace(f"artifact.{args.artifact}"):
+            rendered = ARTIFACTS[args.artifact](result)
+        print(rendered)
+    finally:
+        if recorder is not None:
+            obs.disable()
+    if recorder is not None:
+        if args.metrics:
+            print(obs.format_summary(recorder), file=sys.stderr)
+        if args.trace:
+            path = obs.write_chrome_trace(recorder, args.trace)
+            print(f"wrote trace to {path}", file=sys.stderr)
     return 0
 
 

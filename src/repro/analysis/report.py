@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.analysis import (
     contacts,
     defense,
@@ -52,10 +53,13 @@ def full_report(result: SimulationResult,
     ]
 
     def add(title: str, thunk) -> None:
-        try:
-            sections.append(thunk())
-        except (ValueError, ZeroDivisionError, KeyError) as error:
-            sections.append(f"{title}: no data in this scenario ({error})")
+        with obs.trace("report.section", section=title):
+            try:
+                sections.append(thunk())
+                obs.count("report.sections_rendered")
+            except (ValueError, ZeroDivisionError, KeyError) as error:
+                obs.count("report.sections_empty")
+                sections.append(f"{title}: no data in this scenario ({error})")
 
     add("Table 1", lambda: table1.render(table1.compute(result)))
     add("Table 2", lambda: table2.render(table2.compute(result)))

@@ -23,8 +23,10 @@ Determinism contract:
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Optional
+import time
+from typing import Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.core.config import SimulationConfig
 from repro.core.simulation import Simulation, SimulationResult
 
@@ -32,6 +34,27 @@ from repro.core.simulation import Simulation, SimulationResult
 def run_world(config: SimulationConfig) -> SimulationResult:
     """Build and run one world — the per-process unit of work."""
     return Simulation(config).run()
+
+
+def _run_world_timed(config: SimulationConfig) -> Tuple[SimulationResult, float]:
+    """Pool unit of work: the result plus its in-worker wall time.
+
+    Worker processes start with telemetry disabled (obs state is
+    process-local), so the one number the parent cannot measure itself —
+    how long each world actually took inside its worker — rides back on
+    the return value.
+    """
+    start = time.perf_counter()
+    result = run_world(config)
+    return result, time.perf_counter() - start
+
+
+def _run_serial(configs: List[SimulationConfig]) -> List[SimulationResult]:
+    results = []
+    for config in configs:
+        with obs.timed("run_worlds.world_seconds"):
+            results.append(run_world(config))
+    return results
 
 
 def default_workers(n_worlds: int) -> int:
@@ -50,18 +73,42 @@ def run_worlds(configs: Iterable[SimulationConfig],
 
     Results come back in input order.  Falls back to the serial loop
     when parallelism is disabled, only one world (or worker) is
-    requested, or the platform cannot spawn worker processes.
+    requested, or the platform cannot spawn worker processes — and each
+    fallback is recorded as a ``run_worlds.serial_fallback.<reason>``
+    counter instead of degrading silently.
     """
     configs = list(configs)
     workers = (default_workers(len(configs)) if max_workers is None
                else max(1, min(max_workers, len(configs))))
-    if not parallelism_enabled() or workers <= 1 or len(configs) <= 1:
-        return [run_world(config) for config in configs]
+    if not parallelism_enabled():
+        serial_reason = "kill_switch"
+    elif len(configs) <= 1:
+        serial_reason = "single_world"
+    elif workers <= 1:
+        serial_reason = "worker_count"
+    else:
+        serial_reason = None
+    if serial_reason is not None:
+        obs.count(f"run_worlds.serial_fallback.{serial_reason}")
+        return _run_serial(configs)
     try:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_world, configs))
+        with obs.trace("run_worlds.parallel", worlds=len(configs),
+                       workers=workers):
+            wall_start = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                timed_results = list(pool.map(_run_world_timed, configs))
+            wall_seconds = time.perf_counter() - wall_start
+        busy_seconds = 0.0
+        for _, world_seconds in timed_results:
+            obs.observe("run_worlds.world_seconds", world_seconds)
+            busy_seconds += world_seconds
+        if wall_seconds > 0:
+            obs.gauge("run_worlds.worker_utilization",
+                      busy_seconds / (wall_seconds * workers))
+        return [result for result, _ in timed_results]
     except (OSError, PermissionError):
         # Restricted environments (no fork/sem support) degrade to serial.
-        return [run_world(config) for config in configs]
+        obs.count("run_worlds.serial_fallback.platform")
+        return _run_serial(configs)

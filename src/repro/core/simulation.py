@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.config import SimulationConfig
 from repro.core.organic import OrganicActivityModel
 from repro.defense.abuse import AbuseResponse
@@ -303,37 +304,51 @@ class Simulation:
 
     def run(self) -> SimulationResult:
         """Run the full horizon and return the result bundle."""
+        with obs.trace("simulation.run", seed=self.config.seed,
+                       days=self.config.horizon_days):
+            return self._run()
+
+    def _run(self) -> SimulationResult:
         for day in range(self.config.horizon_days):
             day_end = (day + 1) * DAY
-            self._create_standalone_pages(day)
-            for crew, is_outlier in self._campaign_schedule.get(day, ()):
-                self._launch_campaign(crew, day, is_outlier)
-            self._process_incidents_until(day_end)
-            self.mail.flush_reports(day_end)
-            self._abuse_sweep(day_end)
+            with obs.trace("simulation.day", day=day):
+                with obs.trace("simulation.phase.standalone_pages", day=day):
+                    self._create_standalone_pages(day)
+                with obs.trace("simulation.phase.campaign_launch", day=day):
+                    for crew, is_outlier in self._campaign_schedule.get(day, ()):
+                        self._launch_campaign(crew, day, is_outlier)
+                with obs.trace("simulation.phase.incident_execution", day=day):
+                    self._process_incidents_until(day_end)
+                with obs.trace("simulation.phase.mail_flush", day=day):
+                    self.mail.flush_reports(day_end)
+                with obs.trace("simulation.phase.abuse_sweep", day=day):
+                    self._abuse_sweep(day_end)
             self.clock.advance_to(day_end)
 
         botnet_report = None
         if self.config.include_automated_baseline:
-            botnet_report = self._run_botnet_wave()
+            with obs.trace("simulation.phase.botnet_wave"):
+                botnet_report = self._run_botnet_wave()
 
         if self.config.enforce_log_retention:
-            RetentionPolicy().enforce(self.store, now=self.clock.now)
+            with obs.trace("simulation.phase.log_retention"):
+                RetentionPolicy().enforce(self.store, now=self.clock.now)
 
         targeted_reports: List[EspionageReport] = []
         targeted_depth = 0.0
         if self.config.include_targeted_baseline:
-            attacker = TargetedAttacker(
-                rng=self.rngs.stream("targeted"),
-                population=self.population,
-                auth=self.auth,
-                search=self.search,
-                allocator=self.allocator,
-                store=self.store,
-            )
-            targeted_reports = attacker.run_campaign(
-                self.config.targeted_victims, start=DAY)
-            targeted_depth = attacker.depth_score()
+            with obs.trace("simulation.phase.targeted_campaign"):
+                attacker = TargetedAttacker(
+                    rng=self.rngs.stream("targeted"),
+                    population=self.population,
+                    auth=self.auth,
+                    search=self.search,
+                    allocator=self.allocator,
+                    store=self.store,
+                )
+                targeted_reports = attacker.run_campaign(
+                    self.config.targeted_victims, start=DAY)
+                targeted_depth = attacker.depth_score()
 
         return SimulationResult(
             config=self.config,
@@ -418,6 +433,8 @@ class Simulation:
         )
         result = self.campaign_runner.run(campaign)
         self.campaigns.append(result)
+        obs.count("simulation.campaigns_launched")
+        obs.observe("simulation.campaign_credentials", len(result.credentials))
         # Only mail-credential loot is actionable against the provider;
         # bank/app-store/social submissions monetize elsewhere, and
         # external-domain mail credentials never hit our login stack.
@@ -475,7 +492,9 @@ class Simulation:
     def _submit_credential(self, state: CrewState, credential: Credential) -> None:
         account = self.population.lookup_address(credential.address)
         if account is None:
+            obs.count("simulation.credentials_external")
             return  # external victim: exploited outside our provider
+        obs.count("simulation.credentials_submitted")
         pickup_at = state.queue.submit(credential)
         self.remission.snapshot(account, credential.captured_at)
         if pickup_at is not None:
@@ -510,7 +529,9 @@ class Simulation:
             return
         state.processed_accounts.add(duplicate_key)
         worker_index = len(state.incidents) % state.crew.n_workers
-        report = state.driver.execute(credential, worker_index, pickup_at)
+        with obs.timed("simulation.incident_seconds"):
+            report = state.driver.execute(credential, worker_index, pickup_at)
+        obs.count("simulation.incidents_executed")
         state.incidents.append(report)
         self.incidents.append(report)
 

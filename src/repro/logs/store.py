@@ -35,6 +35,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type, TypeVar
 
+from repro import obs
 from repro.logs.events import Actor, Event
 
 E = TypeVar("E", bound=Event)
@@ -73,6 +74,8 @@ class _EventColumn:
 
     def _ensure_sorted(self) -> None:
         if not self._sorted:
+            obs.count("logstore.index.sorts")
+            obs.observe("logstore.index.sort_events", len(self.events))
             self.events.sort(key=_timestamp_key)
             self._stamps = [event.timestamp for event in self.events]
             self._sorted = True
@@ -83,6 +86,7 @@ class _EventColumn:
         lo = bisect_left(self._stamps, since) if since > 0 else 0
         hi = (len(self.events) if until is None
               else bisect_right(self._stamps, until))
+        obs.observe("logstore.query.window_events", hi - lo)
         return self.events[lo:hi]
 
     def __len__(self) -> int:
@@ -119,6 +123,7 @@ class LogStore:
         if actor is not None:
             self._column(self._by_type_actor, (event_type, actor)).append(event)
         self._count += 1
+        obs.count("logstore.appends")
 
     def extend(self, events: Iterable[Event]) -> None:
         for event in events:
@@ -139,10 +144,13 @@ class LogStore:
         each service writes its own table.
         """
         if account_id is not None:
+            obs.count("logstore.query.account_index")
             column = self._by_type_account.get((event_type, account_id))
         elif actor is not None:
+            obs.count("logstore.query.actor_index")
             column = self._by_type_actor.get((event_type, actor))
         else:
+            obs.count("logstore.query.type_scan")
             column = self._by_type.get(event_type)
         if column is None:
             return []
@@ -224,4 +232,8 @@ class LogStore:
                 event for event in actor_column.events if not predicate(event)
             ])
         self._count -= len(removed)
+        obs.count("logstore.remove_where.calls")
+        obs.count("logstore.remove_where.removed", len(removed))
+        obs.observe("logstore.remove_where.rebuilt_columns",
+                    1 + 2 * len(accounts) + len(actors))
         return len(removed)

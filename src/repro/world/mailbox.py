@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.net.email_addr import EmailAddress
 from repro.world.messages import EmailMessage, Folder
 
@@ -137,8 +138,10 @@ class Mailbox:
         the index cannot help with (``is:starred``) fall back to the
         scan.
         """
+        obs.count("mailbox.search.calls")
         normalized = query.strip().lower()
         if normalized == "is:starred":
+            obs.count("mailbox.search.scan_fallback")
             return [m for m in self.messages() if m.matches(query)]
         if normalized.startswith("filename:"):
             body = normalized[len("filename:"):].strip("() ")
@@ -149,6 +152,7 @@ class Mailbox:
             return self._verify_candidates(candidates, query)
         terms = normalized.split()
         if not terms:
+            obs.count("mailbox.search.scan_fallback")
             return [m for m in self.messages() if m.matches(query)]
         probe = max(terms, key=len)
         return self._verify_candidates(self._candidates_for_term(probe), query)
@@ -173,6 +177,7 @@ class Mailbox:
     def _verify_candidates(self, candidate_ids: Set[str],
                            query: str) -> List[EmailMessage]:
         """Run the exact match predicate over candidates in arrival order."""
+        obs.observe("mailbox.search.candidates", len(candidate_ids))
         result = []
         for message_id in sorted(candidate_ids, key=self._positions.__getitem__):
             message = self._messages[message_id]
@@ -180,6 +185,7 @@ class Mailbox:
                 continue
             if message.matches(query):
                 result.append(message)
+        obs.observe("mailbox.search.verified_hits", len(result))
         return result
 
     def contact_addresses(self) -> List[EmailAddress]:

@@ -1,8 +1,17 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
-from repro.__main__ import ARTIFACTS, SCENARIOS, build_parser, main
+from repro import obs
+from repro.__main__ import (
+    ARTIFACT_DESCRIPTIONS,
+    ARTIFACTS,
+    SCENARIOS,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -32,6 +41,11 @@ class TestRegistries:
                      "figure1", "figure7", "figure12", "section5.5"):
             assert name in ARTIFACTS
 
+    def test_every_artifact_has_a_description(self):
+        assert set(ARTIFACT_DESCRIPTIONS) == set(ARTIFACTS)
+        for description in ARTIFACT_DESCRIPTIONS.values():
+            assert description.strip()
+
 
 class TestExecution:
     def test_list_scenarios(self, capsys):
@@ -51,3 +65,36 @@ class TestExecution:
         for name, render in ARTIFACTS.items():
             text = render(smoke_result)
             assert isinstance(text, str) and text, name
+
+    def test_list_artifacts(self, capsys):
+        assert main(["--list-artifacts"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+        assert "response-time CDF" in out  # figure8's description rode along
+
+
+class TestObservabilityFlags:
+    def test_metrics_and_trace_leave_stdout_byte_identical(
+            self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        argv = ["--scenario", "smoke", "--artifact", "metrics", "--seed", "3"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--metrics", "--trace", str(trace_path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain  # the measurement is uncontaminated
+        assert "observability summary" in captured.err
+        assert "simulation.day" in captured.err
+
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        span_names = {event["name"] for event in trace["traceEvents"]
+                      if event["ph"] == "X"}
+        assert "simulation.run" in span_names
+        assert "artifact.metrics" in span_names
+
+    def test_recorder_is_torn_down_after_run(self, capsys, tmp_path):
+        main(["--scenario", "smoke", "--artifact", "metrics", "--seed", "3",
+              "--metrics"])
+        capsys.readouterr()
+        assert not obs.enabled()

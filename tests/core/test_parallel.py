@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.core.config import SimulationConfig
 from repro.core.parallel import default_workers, run_world, run_worlds
 from repro.logs.events import LoginEvent, MailSentEvent
@@ -56,3 +57,43 @@ def test_single_world_runs_inline():
 def test_default_workers_bounds():
     assert default_workers(0) == 1
     assert 1 <= default_workers(3) <= 3
+
+
+class TestSerialFallbackTelemetry:
+    """The runner records *why* it degraded instead of doing so silently."""
+
+    def setup_method(self):
+        obs.disable()
+
+    def teardown_method(self):
+        obs.disable()
+
+    def test_kill_switch_reason_recorded(self, configs, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        with obs.recording() as recorder:
+            run_worlds(configs, max_workers=2)
+        assert recorder.counters["run_worlds.serial_fallback.kill_switch"] == 1
+        assert recorder.histograms["run_worlds.world_seconds"].count == 2
+
+    def test_single_world_reason_recorded(self):
+        with obs.recording() as recorder:
+            run_worlds([tiny_config(5)])
+        assert recorder.counters["run_worlds.serial_fallback.single_world"] == 1
+
+    def test_worker_count_reason_recorded(self, configs):
+        with obs.recording() as recorder:
+            run_worlds(configs, max_workers=1)
+        assert recorder.counters["run_worlds.serial_fallback.worker_count"] == 1
+
+    def test_parallel_path_records_per_world_timings(self, configs):
+        with obs.recording() as recorder:
+            results = run_worlds(configs, max_workers=2)
+        if "run_worlds.serial_fallback.platform" in recorder.counters:
+            # Restricted container: the degradation itself must be visible.
+            assert recorder.histograms["run_worlds.world_seconds"].count == 2
+        else:
+            assert recorder.histograms["run_worlds.world_seconds"].count == 2
+            assert 0 < recorder.gauges["run_worlds.worker_utilization"] <= 1.5
+            assert any(span.name == "run_worlds.parallel"
+                       for span in recorder.spans)
+        assert [r.config.seed for r in results] == [3, 9]
