@@ -10,10 +10,17 @@ ceiling (so CI catches a regression, not machine noise) and writes the
 numbers to ``BENCH_logstore.json`` at the repo root so the perf
 trajectory is tracked PR over PR.
 
+A second section gates world *construction*: lazy population builds at
+several N (``BENCH_worldbuild.json``), with a lazy-vs-eager fingerprint
+equality check — the determinism contract of lazy materialization — and
+an absolute ceiling on the bench-world build so history seeding can
+never silently crawl back into the build path.
+
 Run directly (it is also exercised as a smoke target by the test
 suite's tier-1 run via ``python benchmarks/perf_gate.py --quick``):
 
     PYTHONPATH=src python benchmarks/perf_gate.py
+    PYTHONPATH=src python benchmarks/perf_gate.py --worldbuild-only
 """
 
 from __future__ import annotations
@@ -30,18 +37,31 @@ from repro.core.parallel import run_world
 from repro.logs.events import Actor, LoginEvent, NotificationEvent
 from repro.logs.reference import NaiveLogStore
 from repro.logs.store import LogStore
+from repro.net.phones import PhoneNumberPlan
 from repro.util.clock import DAY
+from repro.util.ids import IdMinter
+from repro.util.rng import RngRegistry
+from repro.world.equivalence import population_fingerprint
 from repro.world.mailbox import Mailbox
 from repro.world.messages import EmailMessage
+from repro.world.population import PopulationConfig, build_population
 from repro.net.email_addr import EmailAddress
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_logstore.json"
+DEFAULT_WORLDBUILD_OUTPUT = REPO_ROOT / "BENCH_worldbuild.json"
 
 #: Generous absolute ceiling for one indexed windowed+filtered query.
 #: The measured time is ~3 orders of magnitude below this on 2020s
 #: hardware; the gate exists to catch accidental O(n) regressions.
 QUERY_CEILING_SECONDS = 5e-3
+
+#: Ceiling for the lazy build of the 1,500-user bench world.  The PR 2
+#: baseline paid 1.57s here (eager history seeding); lazy construction
+#: measures ~0.08s, so 0.5s catches any eager-seeding regression while
+#: staying far above CI-container noise.
+BENCH_WORLD_BUILD_CEILING_SECONDS = 0.5
+BENCH_WORLD_USERS = 1_500
 
 
 def _mulberry(state: int):
@@ -197,6 +217,81 @@ def bench_world_smoke(n_queries: int):
     }
 
 
+def _build_population(n_users: int, *, lazy: bool):
+    """One deterministic population build, timed (seconds returned)."""
+    rngs = RngRegistry(1234)
+    config = PopulationConfig(
+        n_users=n_users,
+        n_external_edu=max(10, n_users // 5),
+        n_external_other=max(5, n_users // 12),
+        lazy_history=lazy,
+    )
+    start = time.perf_counter()
+    population = build_population(config, rngs, IdMinter(),
+                                  PhoneNumberPlan(rngs.stream("phones")))
+    return population, time.perf_counter() - start
+
+
+def bench_world_build(sizes, equality_users: int):
+    """Lazy builds at each N, plus the lazy/eager determinism gate.
+
+    Eager comparison builds are only run at small N — the whole point of
+    lazy construction is that eager seeding stops scaling, so the bench
+    does not pay O(N) history materialization just to print the ratio.
+    """
+    builds = []
+    for n_users in sizes:
+        with obs.recording() as recorder:
+            population, lazy_seconds = _build_population(n_users, lazy=True)
+        entry = {
+            "n_users": n_users,
+            "lazy_build_s": round(lazy_seconds, 4),
+            "pending_mailboxes": population.pending_history_count(),
+            "obs": obs.metrics_snapshot(recorder),
+        }
+        if n_users <= 2_000:
+            _, eager_seconds = _build_population(n_users, lazy=False)
+            entry["eager_build_s"] = round(eager_seconds, 4)
+            entry["lazy_speedup"] = round(
+                eager_seconds / max(lazy_seconds, 1e-9), 1)
+        builds.append(entry)
+
+    lazy_pop, _ = _build_population(equality_users, lazy=True)
+    eager_pop, _ = _build_population(equality_users, lazy=False)
+    sample = range(min(40, len(lazy_pop.external_victims)))
+    lazy_fp = population_fingerprint(lazy_pop, external_sample=sample)
+    eager_fp = population_fingerprint(eager_pop, external_sample=sample)
+    if lazy_fp != eager_fp:
+        raise AssertionError(
+            f"lazy/eager world divergence at n_users={equality_users}: "
+            f"{lazy_fp} != {eager_fp}")
+    return builds, {
+        "n_users": equality_users,
+        "fingerprint_sha256": lazy_fp,
+        "lazy_eager_identical": True,
+    }
+
+
+def run_worldbuild_gate(sizes, equality_users: int,
+                        output: pathlib.Path) -> dict:
+    builds, equality = bench_world_build(sizes, equality_users)
+    gated = [b for b in builds if b["n_users"] == BENCH_WORLD_USERS]
+    gate_build_s = gated[0]["lazy_build_s"] if gated else None
+    report = {
+        "workload": "build_population, lazy history + streamed externals",
+        "builds": builds,
+        "equality": equality,
+        "gate": {
+            "bench_world_users": BENCH_WORLD_USERS,
+            "build_ceiling_s": BENCH_WORLD_BUILD_CEILING_SECONDS,
+            "passed": (gate_build_s is None
+                       or gate_build_s < BENCH_WORLD_BUILD_CEILING_SECONDS),
+        },
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
 def run_gate(n_events: int, n_queries: int, output: pathlib.Path) -> dict:
     events = build_event_stream(n_events, n_accounts=500)
     naive_seconds, indexed_seconds, checksum = bench_store_queries(
@@ -240,34 +335,65 @@ def main(argv=None) -> int:
     parser.add_argument("--events", type=int, default=100_000)
     parser.add_argument("--queries", type=int, default=200)
     parser.add_argument("--quick", action="store_true",
-                        help="small smoke sizing for CI (10k events)")
+                        help="small smoke sizing for CI (10k events, "
+                             "world builds capped at 1,500 users)")
+    parser.add_argument("--worldbuild-only", action="store_true",
+                        help="run only the world-construction gate")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--worldbuild-output", type=pathlib.Path,
+                        default=DEFAULT_WORLDBUILD_OUTPUT)
     args = parser.parse_args(argv)
+    build_sizes, equality_users = [BENCH_WORLD_USERS, 10_000, 50_000], 300
     if args.quick:
         args.events, args.queries = 10_000, 50
+        build_sizes = [300, BENCH_WORLD_USERS]
 
-    report = run_gate(args.events, args.queries, args.output)
-    store = report["store"]
-    search = report["mailbox_search"]
-    print(f"LogStore.query on {store['n_events']:,} events x "
-          f"{store['n_queries']} windowed+account queries:")
-    print(f"  naive   {store['naive_total_s']:.4f}s")
-    print(f"  indexed {store['indexed_total_s']:.4f}s "
-          f"({store['speedup']}x, {store['indexed_per_query_s'] * 1e6:.1f}us/query)")
-    print(f"Mailbox.search on {search['n_messages']:,} messages x "
-          f"{search['n_searches']} queries: {search['scan_total_s']:.4f}s -> "
-          f"{search['indexed_total_s']:.4f}s ({search['speedup']}x)")
-    world = report["world_smoke"]
-    print(f"World smoke (seed {world['seed']}, {world['n_users']} users, "
-          f"{world['n_events']} events): built in {world['build_s']}s, "
-          f"{world['query_per_call_s'] * 1e6:.1f}us/windowed account query")
-    print(f"wrote {args.output}")
-    if not report["gate"]["passed"]:
-        print(f"GATE FAILED: {store['indexed_per_query_s']}s/query over the "
-              f"{QUERY_CEILING_SECONDS}s ceiling", file=sys.stderr)
-        return 1
-    print("gate passed")
-    return 0
+    passed = True
+    worldbuild = run_worldbuild_gate(build_sizes, equality_users,
+                                     args.worldbuild_output)
+    for entry in worldbuild["builds"]:
+        eager = (f" (eager {entry['eager_build_s']:.3f}s, "
+                 f"{entry['lazy_speedup']}x)" if "eager_build_s" in entry
+                 else "")
+        print(f"World build n_users={entry['n_users']:,}: "
+              f"lazy {entry['lazy_build_s']:.3f}s{eager}, "
+              f"{entry['pending_mailboxes']:,} mailboxes deferred")
+    print(f"Lazy/eager equality at n_users="
+          f"{worldbuild['equality']['n_users']}: identical "
+          f"({worldbuild['equality']['fingerprint_sha256'][:16]}...)")
+    print(f"wrote {args.worldbuild_output}")
+    if not worldbuild["gate"]["passed"]:
+        print(f"GATE FAILED: {BENCH_WORLD_USERS}-user lazy build over the "
+              f"{BENCH_WORLD_BUILD_CEILING_SECONDS}s ceiling",
+              file=sys.stderr)
+        passed = False
+
+    if not args.worldbuild_only:
+        report = run_gate(args.events, args.queries, args.output)
+        store = report["store"]
+        search = report["mailbox_search"]
+        print(f"LogStore.query on {store['n_events']:,} events x "
+              f"{store['n_queries']} windowed+account queries:")
+        print(f"  naive   {store['naive_total_s']:.4f}s")
+        print(f"  indexed {store['indexed_total_s']:.4f}s "
+              f"({store['speedup']}x, "
+              f"{store['indexed_per_query_s'] * 1e6:.1f}us/query)")
+        print(f"Mailbox.search on {search['n_messages']:,} messages x "
+              f"{search['n_searches']} queries: {search['scan_total_s']:.4f}s"
+              f" -> {search['indexed_total_s']:.4f}s ({search['speedup']}x)")
+        world = report["world_smoke"]
+        print(f"World smoke (seed {world['seed']}, {world['n_users']} users, "
+              f"{world['n_events']} events): built in {world['build_s']}s, "
+              f"{world['query_per_call_s'] * 1e6:.1f}us/windowed account query")
+        print(f"wrote {args.output}")
+        if not report["gate"]["passed"]:
+            print(f"GATE FAILED: {store['indexed_per_query_s']}s/query over "
+                  f"the {QUERY_CEILING_SECONDS}s ceiling", file=sys.stderr)
+            passed = False
+
+    print("gate passed" if passed else "gate FAILED", file=None if passed
+          else sys.stderr)
+    return 0 if passed else 1
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ Examples::
     python -m repro --scenario exploitation --artifact figure8
     python -m repro --scenario decoy --artifact figure7 --seed 13
     python -m repro --scenario smoke --metrics --trace /tmp/trace.json
+    python -m repro --scenario smoke --n-users 50000 --artifact metrics
     python -m repro --list-scenarios
     python -m repro --list-artifacts
 """
@@ -138,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(SCENARIOS),
                         help="which preset world to run (default: smoke)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--n-users", type=int, default=None, metavar="N",
+                        help="override the scenario's population size "
+                             "(lazy world construction scales this to "
+                             "hundreds of thousands of accounts)")
     parser.add_argument("--artifact", default="report",
                         choices=sorted(ARTIFACTS),
                         help="what to print after the run (default: report)")
@@ -171,8 +176,10 @@ def main(argv=None) -> int:
     recorder = obs.enable() if (args.metrics or args.trace) else None
     try:
         config = SCENARIOS[args.scenario](args.seed)
-        print(f"running scenario {args.scenario!r} (seed={args.seed}) ...",
-              file=sys.stderr)
+        if args.n_users is not None:
+            config = config.with_overrides(n_users=args.n_users)
+        print(f"running scenario {args.scenario!r} (seed={args.seed}, "
+              f"{config.n_users} users) ...", file=sys.stderr)
         started = time.perf_counter()
         result = Simulation(config).run()
         print(f"done in {time.perf_counter() - started:.1f}s\n",

@@ -219,6 +219,15 @@ class Simulation:
         self.crew_states = [self._build_crew_state(crew) for crew in config.crews]
         self._crew_by_name = {state.crew.name: state for state in self.crew_states}
 
+        #: Frozen target pools for campaign sampling.  Rebuilding a list
+        #: of every account per campaign is O(n_users) each launch — at
+        #: 10⁶ users that dwarfs the campaign itself — so both pools and
+        #: the provider filter strength are resolved once here.
+        self._provider_pool: Tuple[Account, ...] = tuple(
+            self.population.accounts.values())
+        self._provider_filter_block = (
+            config.population_config().provider_filter_strength)
+
         self.incidents: List[IncidentReport] = []
         self.campaigns: List[CampaignResult] = []
         self.pages: List[PhishingPage] = []
@@ -444,26 +453,32 @@ class Simulation:
 
     def _pick_targets(self, rng: random.Random,
                       is_outlier: bool) -> List[LureTarget]:
+        """Batch-sample a campaign's target list from the frozen pools."""
         count = self.config.campaign_target_count * (3 if is_outlier else 1)
         n_provider = int(count * self.config.provider_target_fraction)
         n_external = count - n_provider
-        targets: List[LureTarget] = []
-        accounts = list(self.population.accounts.values())
-        provider_block = self.config.population_config().provider_filter_strength
-        for account in rng.sample(accounts, min(n_provider, len(accounts))):
-            targets.append(LureTarget(
+        provider_block = self._provider_filter_block
+        pool = self._provider_pool
+        targets: List[LureTarget] = [
+            LureTarget(
                 address=account.address,
                 filter_block_probability=provider_block,
                 gullibility=account.owner.gullibility,
                 account=account,
-            ))
+            )
+            for account in rng.sample(pool, min(n_provider, len(pool)))
+        ]
+        # The external pool is a lazy Sequence: sampling indexes (and
+        # materializes) only the chosen victims.
         externals = self.population.external_victims
-        for victim in rng.sample(externals, min(n_external, len(externals))):
-            targets.append(LureTarget(
+        targets.extend(
+            LureTarget(
                 address=victim.address,
                 filter_block_probability=victim.spam_filter_strength,
                 gullibility=victim.gullibility,
-            ))
+            )
+            for victim in rng.sample(externals, min(n_external, len(externals)))
+        )
         return targets
 
     def _maybe_inject_decoy(self, page: PhishingPage) -> None:

@@ -177,7 +177,7 @@ class ProfilingPlaybook:
                 folders_opened.append(folder)
                 found_kinds.update(message.kind for message in results)
 
-        contact_count = len(account.mailbox.contact_addresses())
+        contact_count = account.mailbox.contact_count()
         found_financial = MessageKind.FINANCIAL in found_kinds
         found_credentials = MessageKind.CREDENTIAL in found_kinds
         found_media = MessageKind.PERSONAL_MEDIA in found_kinds

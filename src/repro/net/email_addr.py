@@ -8,10 +8,12 @@ than bare strings.
 from __future__ import annotations
 
 import random
+import sys
 from dataclasses import dataclass
 from typing import Container
 
 from repro.net.domains import tld_of
+from repro.util.compat import SLOT_KWARGS
 
 _USERNAME_FIRST = (
     "alex", "sam", "maria", "chen", "lee", "nina", "omar", "paula", "ravi",
@@ -25,9 +27,16 @@ _USERNAME_LAST = (
 )
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, **SLOT_KWARGS)
 class EmailAddress:
-    """``username@domain`` with minimal syntactic validation."""
+    """``username@domain`` with minimal syntactic validation.
+
+    Slotted and string-interned: a large world references the same few
+    dozen domain strings from millions of addresses, and the same
+    address objects flow through messages, credentials, and log events —
+    interning collapses the duplicates to shared pointers (and makes the
+    hot equality checks pointer-first).
+    """
 
     username: str
     domain: str
@@ -37,6 +46,8 @@ class EmailAddress:
             raise ValueError(f"invalid username: {self.username!r}")
         if not self.domain or "." not in self.domain or "@" in self.domain:
             raise ValueError(f"invalid domain: {self.domain!r}")
+        object.__setattr__(self, "username", sys.intern(self.username))
+        object.__setattr__(self, "domain", sys.intern(self.domain))
 
     @classmethod
     def parse(cls, raw: str) -> "EmailAddress":

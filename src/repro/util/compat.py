@@ -1,0 +1,22 @@
+"""Version-gated interpreter features.
+
+The simulator targets Python 3.9+ (the CI matrix) but wants the memory
+wins of newer interpreters when available.  ``SLOT_KWARGS`` lets hot
+dataclasses opt into ``__slots__`` on 3.10+ without breaking 3.9::
+
+    @dataclass(frozen=True, **SLOT_KWARGS)
+    class Hot: ...
+
+On 3.9 the kwargs are empty and the class keeps a ``__dict__`` — the
+code behaves identically, it just spends more per instance.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+#: Extra ``@dataclass`` kwargs enabling ``__slots__`` where supported.
+SLOT_KWARGS: Dict[str, Any] = (
+    {"slots": True} if sys.version_info >= (3, 10) else {}
+)

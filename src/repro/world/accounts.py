@@ -15,6 +15,7 @@ from typing import List, Optional
 
 from repro.net.email_addr import EmailAddress
 from repro.net.phones import PhoneNumber
+from repro.util.compat import SLOT_KWARGS
 from repro.world.mailbox import Mailbox
 from repro.world.users import User
 
@@ -30,7 +31,7 @@ class AccountState(enum.Enum):
         return self is not AccountState.SUSPENDED
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **SLOT_KWARGS)
 class Credential:
     """A username/password pair as it travels through the underworld.
 
@@ -52,7 +53,7 @@ def password_digest(password: str, salt: str) -> str:
     return hashlib.sha256(f"{salt}:{password}".encode("utf-8")).hexdigest()
 
 
-@dataclass
+@dataclass(**SLOT_KWARGS)
 class RecoveryOptions:
     """Out-of-band recovery channels on file for an account.
 
@@ -77,9 +78,9 @@ class RecoveryOptions:
         return channels
 
 
-@dataclass
+@dataclass(**SLOT_KWARGS)
 class Account:
-    """One account at the primary provider."""
+    """One account at the primary provider (slotted: one per user)."""
 
     account_id: str
     owner: User

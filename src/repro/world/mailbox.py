@@ -5,6 +5,16 @@ assess value, read Starred/Drafts/Sent, install forwarding filters to act
 in the shadow, and mass-delete content to slow the victim down.  The
 remission phase (Section 6.4) restores it from a snapshot, so snapshotting
 is a first-class operation here.
+
+Scale notes: a mailbox can defer its pre-simulation history.  The
+population builder hands it a *seeder* callback (closed over a
+per-account child seed) via :meth:`Mailbox.defer_seed`; the first
+operation that touches messages — delivery, search, folder views,
+snapshots, the correspondent list — runs the seeder before doing its
+work, so history exists exactly when something first looks, and an
+untouched account costs nothing.  Because the seeder draws only from its
+own private RNG, materialization order cannot perturb any other stream:
+lazily-built worlds are bit-identical to eagerly-built ones.
 """
 
 from __future__ import annotations
@@ -51,6 +61,12 @@ class MailboxSnapshot:
 class Mailbox:
     """All messages and filters of one account."""
 
+    __slots__ = (
+        "owner", "_messages", "_order", "_positions", "_postings",
+        "filters", "on_forward", "_seeder", "_correspondents",
+        "_contacts_sorted",
+    )
+
     def __init__(self, owner: EmailAddress):
         self.owner = owner
         self._messages: Dict[str, EmailMessage] = {}
@@ -64,11 +80,37 @@ class Mailbox:
         self.filters: List[MailFilter] = []
         #: Callback invoked when a filter forwards a message elsewhere.
         self.on_forward: Optional[Callable[[EmailMessage, EmailAddress], None]] = None
+        #: Deferred history seeder; run (once) by the first message access.
+        self._seeder: Optional[Callable[["Mailbox"], None]] = None
+        #: Distinct correspondents, maintained incrementally on delivery
+        #: (content is append-only, so this never goes stale).
+        self._correspondents: Dict[str, EmailAddress] = {}
+        self._contacts_sorted: Optional[List[EmailAddress]] = None
+
+    # -- lazy history ------------------------------------------------------
+
+    def defer_seed(self, seeder: Callable[["Mailbox"], None]) -> None:
+        """Register a history seeder to run on first message access."""
+        if self._seeder is not None:
+            raise ValueError(f"mailbox {self.owner} already has a pending seeder")
+        self._seeder = seeder
+
+    @property
+    def history_pending(self) -> bool:
+        """Is a deferred history seeder still waiting to run?"""
+        return self._seeder is not None
+
+    def _materialize(self) -> None:
+        seeder, self._seeder = self._seeder, None
+        obs.count("population.build.history_materialized")
+        seeder(self)
 
     # -- message lifecycle -------------------------------------------------
 
     def deliver(self, message: EmailMessage, folder: Folder = Folder.INBOX) -> None:
         """File an arriving message, applying filters in creation order."""
+        if self._seeder is not None:
+            self._materialize()
         if message.message_id in self._messages:
             raise ValueError(f"duplicate delivery of {message.message_id}")
         message.folder = folder
@@ -84,23 +126,39 @@ class Mailbox:
         self._order.append(message.message_id)
         for token in message.search_tokens():
             self._postings.setdefault(token, set()).add(message.message_id)
+        correspondents = self._correspondents
+        owner = self.owner
+        for address in (message.sender,) + message.recipients:
+            if address != owner:
+                key = str(address)
+                if key not in correspondents:
+                    correspondents[key] = address
+                    self._contacts_sorted = None
 
     def file_sent(self, message: EmailMessage) -> None:
         """Record an outgoing message in Sent Mail."""
         self.deliver(message, folder=Folder.SENT)
 
     def get(self, message_id: str) -> EmailMessage:
+        if self._seeder is not None:
+            self._materialize()
         return self._messages[message_id]
 
     def delete(self, message_id: str) -> None:
         """Soft-delete: recoverable by remission until purged."""
+        if self._seeder is not None:
+            self._materialize()
         self._messages[message_id].deleted = True
 
     def restore(self, message_id: str) -> None:
+        if self._seeder is not None:
+            self._materialize()
         self._messages[message_id].deleted = False
 
     def delete_all(self) -> int:
         """Mass deletion (the 2011-era retention tactic). Returns count."""
+        if self._seeder is not None:
+            self._materialize()
         count = 0
         for message in self._messages.values():
             if not message.deleted:
@@ -113,6 +171,8 @@ class Mailbox:
     def messages(self, folder: Optional[Folder] = None,
                  include_deleted: bool = False) -> List[EmailMessage]:
         """Messages in arrival order, optionally restricted to a folder."""
+        if self._seeder is not None:
+            self._materialize()
         result = []
         for message_id in self._order:
             message = self._messages[message_id]
@@ -138,6 +198,8 @@ class Mailbox:
         the index cannot help with (``is:starred``) fall back to the
         scan.
         """
+        if self._seeder is not None:
+            self._materialize()
         obs.count("mailbox.search.calls")
         normalized = query.strip().lower()
         if normalized == "is:starred":
@@ -189,15 +251,30 @@ class Mailbox:
         return result
 
     def contact_addresses(self) -> List[EmailAddress]:
-        """Distinct correspondents, the hijacker's next victim list."""
-        seen = {}
-        for message in self.messages(include_deleted=True):
-            for address in (message.sender,) + message.recipients:
-                if address != self.owner:
-                    seen.setdefault(str(address), address)
-        return [seen[key] for key in sorted(seen)]
+        """Distinct correspondents, the hijacker's next victim list.
+
+        Served from the incrementally maintained correspondent map (a
+        full-mailbox scan at 10⁵ messages would dominate profiling);
+        the sorted order is cached until the next new correspondent.
+        """
+        if self._seeder is not None:
+            self._materialize()
+        if self._contacts_sorted is None:
+            correspondents = self._correspondents
+            self._contacts_sorted = [
+                correspondents[key] for key in sorted(correspondents)
+            ]
+        return list(self._contacts_sorted)
+
+    def contact_count(self) -> int:
+        """Number of distinct correspondents (no list materialization)."""
+        if self._seeder is not None:
+            self._materialize()
+        return len(self._correspondents)
 
     def __len__(self) -> int:
+        if self._seeder is not None:
+            self._materialize()
         return sum(1 for m in self._messages.values() if not m.deleted)
 
     # -- filters ---------------------------------------------------------------
@@ -218,6 +295,8 @@ class Mailbox:
 
     def snapshot(self, now: int) -> MailboxSnapshot:
         """Capture placement state for later remission."""
+        if self._seeder is not None:
+            self._materialize()
         return MailboxSnapshot(
             taken_at=now,
             message_states={
@@ -231,6 +310,8 @@ class Mailbox:
         """Revert placement of snapshotted messages; returns how many
         messages changed.  Messages that arrived after the snapshot are
         left alone (they may be legitimate mail)."""
+        if self._seeder is not None:
+            self._materialize()
         changed = 0
         for message_id, (folder, starred, deleted) in snapshot.message_states.items():
             message = self._messages.get(message_id)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.net.email_addr import EmailAddress
+from repro.util.compat import SLOT_KWARGS
 
 
 class Folder(str, enum.Enum):
@@ -43,13 +44,17 @@ class MessageKind(str, enum.Enum):
     NOTIFICATION = "notification"    # provider security notifications
 
 
-@dataclass
+@dataclass(**SLOT_KWARGS)
 class EmailMessage:
     """One email message.
 
     ``keywords`` is the searchable token set: the mailbox search engine
     matches hijacker queries ("wire transfer", "passport", …) against it,
     which is how the profiling phase discovers account value.
+
+    Slotted (on 3.10+): worlds hold one instance per historical and
+    simulated message, so per-instance ``__dict__`` overhead is the
+    single largest memory line at 10⁵–10⁶ accounts.
     """
 
     message_id: str

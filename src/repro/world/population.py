@@ -10,20 +10,39 @@ Two populations matter to the study:
   that >99% of phished addresses are ``.edu`` emerges from the far weaker
   commodity spam filtering in front of self-hosted mail (Section 4.2's
   explanation, calibrated to Kanich et al.'s 10× delivery-rate gap).
+
+Scale architecture (the path to 10⁵–10⁶ accounts):
+
+* **Lazy mailbox history.**  Building a world no longer pays for ~30
+  history messages per account up front.  The ``population.history``
+  stream is consumed exactly once (a 64-bit master draw); each account
+  then owns a child seed derived from ``(master, account_id)``, and its
+  history materializes from a private ``random.Random(child_seed)`` the
+  first time anything touches the mailbox.  The derivation is
+  order-independent, so worlds built lazily are **bit-identical** to
+  worlds built eagerly (``PopulationConfig.lazy_history=False``) no
+  matter which mailboxes get touched, in what order, or never.
+* **Streamed external victims.**  The external pool is a lazy sequence:
+  victim *i* is derived from ``(external master, i)`` on first index,
+  so campaigns sampling a few hundred targets never materialize the
+  other 10⁶.
+* **Array-backed contact graph** — see :mod:`repro.world.contacts`.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.net import domains
 from repro.net.email_addr import EmailAddress, generate_address, generate_username
 from repro.net.phones import PhoneNumberPlan
 from repro.util.clock import DAY
+from repro.util.compat import SLOT_KWARGS
 from repro.util.ids import IdMinter
-from repro.util.rng import RngRegistry
+from repro.util.rng import RngRegistry, child_seed
 from repro.world.accounts import Account, RecoveryOptions
 from repro.world.contacts import ContactGraph, build_small_world
 from repro.world.mailbox import Mailbox
@@ -65,8 +84,11 @@ _CREDENTIAL_KEYWORDS = (
 
 _MEDIA_KEYWORDS = ("jpg", "mov", "mp4", "3gp", "passport", "sex", "jpeg", "png", "zip")
 
+#: External correspondents seen in organic history threads.
+_HISTORY_EXTERNAL_DOMAINS = domains.OTHER_PROVIDERS + ("corp-mail.example.com",)
 
-@dataclass
+
+@dataclass(**SLOT_KWARGS)
 class ExternalVictim:
     """A phishable address outside the primary provider.
 
@@ -81,6 +103,73 @@ class ExternalVictim:
     def __post_init__(self) -> None:
         if not 0.0 <= self.spam_filter_strength <= 1.0:
             raise ValueError(f"filter strength out of range: {self.spam_filter_strength}")
+
+
+class ExternalVictimPool(Sequence):
+    """A lazily materialized, deterministic sequence of external victims.
+
+    Victim *i* is a pure function of ``(master seed, i, config)``, so
+    indexing is order-independent and two pools built from the same seed
+    agree element-wise.  ``random.sample`` and friends work unchanged
+    (the pool is a ``Sequence``); only the indexed victims are ever
+    constructed, which is what lets a 10⁶-victim pool cost nothing until
+    campaigns start sampling it.
+    """
+
+    __slots__ = ("_master_seed", "_n_edu", "_n_other", "_edu_strength",
+                 "_other_strength", "_other_domains", "_cache")
+
+    def __init__(self, master_seed: int, n_edu: int, n_other: int,
+                 edu_strength: float, other_strength: float):
+        self._master_seed = master_seed
+        self._n_edu = n_edu
+        self._n_other = n_other
+        self._edu_strength = edu_strength
+        self._other_strength = other_strength
+        self._other_domains = tuple(
+            f"mailhost.{tld}" for tld in domains.FIGURE4_TLDS if tld != "edu"
+        )
+        self._cache: Dict[int, ExternalVictim] = {}
+
+    def __len__(self) -> int:
+        return self._n_edu + self._n_other
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"victim index out of range: {index}")
+        victim = self._cache.get(index)
+        if victim is None:
+            victim = self._materialize(index)
+            self._cache[index] = victim
+        return victim
+
+    def __iter__(self) -> Iterator[ExternalVictim]:
+        return (self[i] for i in range(len(self)))
+
+    def _materialize(self, index: int) -> ExternalVictim:
+        obs.count("population.build.external_materialized")
+        rng = random.Random(child_seed(self._master_seed, f"external:{index}"))
+        if index < self._n_edu:
+            domain = rng.choice(domains.EDU_DOMAINS)
+            return ExternalVictim(
+                address=EmailAddress(f"student{index:06d}", domain),
+                spam_filter_strength=self._edu_strength,
+                gullibility=sample_gullibility(rng),
+            )
+        domain = rng.choice(self._other_domains)
+        return ExternalVictim(
+            address=EmailAddress(f"user{index - self._n_edu:06d}", domain),
+            spam_filter_strength=self._other_strength,
+            gullibility=sample_gullibility(rng),
+        )
+
+    def materialized_count(self) -> int:
+        """How many victims have been constructed so far."""
+        return len(self._cache)
 
 
 @dataclass
@@ -108,6 +197,10 @@ class PopulationConfig:
     edu_filter_strength: float = 0.30
     provider_filter_strength: float = 0.85
     other_provider_filter_strength: float = 0.97
+    #: Defer per-account mailbox history to first access (the scale
+    #: default).  ``False`` seeds every mailbox at build time; either
+    #: way the artifacts are bit-identical (per-account child seeds).
+    lazy_history: bool = True
 
     def __post_init__(self) -> None:
         if self.n_users < 1:
@@ -123,7 +216,7 @@ class Population:
     users: Dict[str, User]
     accounts: Dict[str, Account]
     contact_graph: ContactGraph
-    external_victims: List[ExternalVictim]
+    external_victims: Sequence[ExternalVictim]
     account_by_address: Dict[str, Account] = field(default_factory=dict)
     account_by_user: Dict[str, Account] = field(default_factory=dict)
 
@@ -149,6 +242,13 @@ class Population:
             for user_id in self.contact_graph.contacts_of(account.owner.user_id)
         ]
 
+    def pending_history_count(self) -> int:
+        """Accounts whose mailbox history has not materialized yet."""
+        return sum(
+            1 for account in self.accounts.values()
+            if account.mailbox.history_pending
+        )
+
     def __len__(self) -> int:
         return len(self.accounts)
 
@@ -165,121 +265,147 @@ def build_population(config: PopulationConfig, rngs: RngRegistry,
 
     Deterministic for a fixed (config, master seed): user attributes,
     contact graph, and mailbox histories all come from named RNG streams.
+    History and the external pool are derived via per-entity child seeds
+    (order-independent), so ``lazy_history`` changes *when* state is
+    paid for, never *what* it is.
     """
     user_rng = rngs.stream("population.users")
     history_rng = rngs.stream("population.history")
     graph_rng = rngs.stream("population.graph")
     external_rng = rngs.stream("population.external")
+    #: One draw each — everything downstream derives per-entity seeds.
+    history_master = history_rng.getrandbits(64)
+    external_master = external_rng.getrandbits(64)
 
     users: Dict[str, User] = {}
     accounts: Dict[str, Account] = {}
     taken_addresses: set = set()
 
-    for _ in range(config.n_users):
-        user_id = minter.mint("user")
-        country = sample_home_country(user_rng)
-        address = generate_address(user_rng, domains.PRIMARY_PROVIDER, taken_addresses)
-        taken_addresses.add(address)
-        user = User(
-            user_id=user_id,
-            name=address.username.replace(".", " ").title(),
-            country=country,
-            language=language_of_country(country),
-            activity=sample_activity(user_rng),
-            gullibility=sample_gullibility(user_rng),
-            traits=sample_traits(user_rng),
-            has_phone_on_file=user_rng.random() < config.phone_on_file_rate,
-            has_secondary_email=user_rng.random() < config.secondary_email_rate,
-        )
-        if user.has_secondary_email:
-            user.secondary_email_recycled = user_rng.random() < config.recycled_secondary_rate
+    with obs.trace("population.build", n_users=config.n_users):
+        with obs.trace("population.build.users"):
+            for _ in range(config.n_users):
+                user_id = minter.mint("user")
+                country = sample_home_country(user_rng)
+                address = generate_address(user_rng, domains.PRIMARY_PROVIDER,
+                                           taken_addresses)
+                taken_addresses.add(address)
+                user = User(
+                    user_id=user_id,
+                    name=address.username.replace(".", " ").title(),
+                    country=country,
+                    language=language_of_country(country),
+                    activity=sample_activity(user_rng),
+                    gullibility=sample_gullibility(user_rng),
+                    traits=sample_traits(user_rng),
+                    has_phone_on_file=user_rng.random() < config.phone_on_file_rate,
+                    has_secondary_email=user_rng.random() < config.secondary_email_rate,
+                )
+                if user.has_secondary_email:
+                    user.secondary_email_recycled = (
+                        user_rng.random() < config.recycled_secondary_rate
+                    )
 
-        recovery = RecoveryOptions(
-            phone=phone_plan.mint(country) if user.has_phone_on_file else None,
-            secondary_email=(
-                generate_address(user_rng, user_rng.choice(domains.OTHER_PROVIDERS))
-                if user.has_secondary_email else None
+                recovery = RecoveryOptions(
+                    phone=phone_plan.mint(country) if user.has_phone_on_file else None,
+                    secondary_email=(
+                        generate_address(user_rng, user_rng.choice(domains.OTHER_PROVIDERS))
+                        if user.has_secondary_email else None
+                    ),
+                    secondary_email_recycled=user.secondary_email_recycled,
+                    has_secret_question=user.has_secret_question,
+                )
+                account = Account(
+                    account_id=minter.mint("acct"),
+                    owner=user,
+                    address=address,
+                    password=generate_password(user_rng),
+                    recovery=recovery,
+                    mailbox=Mailbox(address),
+                )
+                if (recovery.phone is not None
+                        and user_rng.random() < config.owner_two_factor_adoption):
+                    account.enable_two_factor(recovery.phone, by_hijacker=False,
+                                              now=0)
+                users[user_id] = user
+                accounts[account.account_id] = account
+
+        with obs.trace("population.build.graph", n_users=config.n_users):
+            contact_graph = build_small_world(
+                sorted(users), graph_rng, mean_degree=config.mean_contacts,
+            )
+
+        population = Population(
+            users=users,
+            accounts=accounts,
+            contact_graph=contact_graph,
+            external_victims=ExternalVictimPool(
+                external_master,
+                n_edu=config.n_external_edu,
+                n_other=config.n_external_other,
+                edu_strength=config.edu_filter_strength,
+                other_strength=config.other_provider_filter_strength,
             ),
-            secondary_email_recycled=user.secondary_email_recycled,
-            has_secret_question=user.has_secret_question,
         )
-        account = Account(
-            account_id=minter.mint("acct"),
-            owner=user,
-            address=address,
-            password=generate_password(user_rng),
-            recovery=recovery,
-            mailbox=Mailbox(address),
-        )
-        if (recovery.phone is not None
-                and user_rng.random() < config.owner_two_factor_adoption):
-            account.enable_two_factor(recovery.phone, by_hijacker=False,
-                                      now=0)
-        users[user_id] = user
-        accounts[account.account_id] = account
 
-    contact_graph = build_small_world(
-        sorted(users), graph_rng, mean_degree=config.mean_contacts,
-    )
-
-    population = Population(
-        users=users,
-        accounts=accounts,
-        contact_graph=contact_graph,
-        external_victims=_build_external_pool(config, external_rng, minter),
-    )
-    _seed_mail_history(population, config, history_rng, minter)
+        with obs.trace("population.build.history", lazy=config.lazy_history):
+            for account in accounts.values():
+                seeder = HistorySeeder(
+                    population, config, account,
+                    child_seed(history_master, account.account_id),
+                )
+                if config.lazy_history:
+                    account.mailbox.defer_seed(seeder)
+                else:
+                    seeder(account.mailbox)
     return population
 
 
-def _build_external_pool(config: PopulationConfig, rng: random.Random,
-                         minter: IdMinter) -> List[ExternalVictim]:
-    victims: List[ExternalVictim] = []
-    for _ in range(config.n_external_edu):
-        domain = rng.choice(domains.EDU_DOMAINS)
-        victims.append(ExternalVictim(
-            address=EmailAddress(f"student{minter.mint('edu').split('-')[1]}", domain),
-            spam_filter_strength=config.edu_filter_strength,
-            gullibility=sample_gullibility(rng),
-        ))
-    external_domains = tuple(
-        f"mailhost.{tld}" for tld in domains.FIGURE4_TLDS if tld != "edu"
-    )
-    for _ in range(config.n_external_other):
-        domain = rng.choice(external_domains)
-        victims.append(ExternalVictim(
-            address=EmailAddress(f"user{minter.mint('ext').split('-')[1]}", domain),
-            spam_filter_strength=config.other_provider_filter_strength,
-            gullibility=sample_gullibility(rng),
-        ))
-    return victims
-
-
-def _seed_mail_history(population: Population, config: PopulationConfig,
-                       rng: random.Random, minter: IdMinter) -> None:
-    """Fill each mailbox with pre-simulation history.
+class HistorySeeder:
+    """A deferred seeder filling one account's pre-simulation history.
 
     History is what the hijacker's profiling phase searches: organic
     threads with graph contacts *and* external correspondents (friends
     at other providers, lists, colleagues).  The externals matter for
     Section 5.3's fan-out numbers — a hijacker blasting "the contact
     list" reaches every correspondent, not just provider users.
+
+    All randomness comes from a private ``random.Random(seed)`` and all
+    message ids from a per-account namespace, so running this at build
+    time, mid-simulation, or never produces the same world.  A class
+    (not a closure) so pending mailboxes survive pickling — the parallel
+    runner ships whole worlds across process boundaries.
     """
-    history_span = 365 * DAY
-    external_domains = domains.OTHER_PROVIDERS + ("corp-mail.example.com",)
-    for account in population.accounts.values():
+
+    __slots__ = ("_population", "_config", "_account", "_seed")
+
+    def __init__(self, population: Population, config: PopulationConfig,
+                 account: Account, seed: int):
+        self._population = population
+        self._config = config
+        self._account = account
+        self._seed = seed
+
+    def __call__(self, mailbox: Mailbox) -> None:
+        rng = random.Random(self._seed)
+        account = self._account
         user = account.owner
-        contacts = population.contacts_of_account(account)
+        contacts = self._population.contacts_of_account(account)
         if not contacts:
-            continue
+            return
+        history_span = 365 * DAY
         n_external = rng.randrange(15, 45)
         external_pool = [
             EmailAddress(f"{generate_username(rng)}{rng.randrange(100)}",
-                         rng.choice(external_domains))
+                         rng.choice(_HISTORY_EXTERNAL_DOMAINS))
             for _ in range(n_external)
         ]
-        n_messages = max(2, int(rng.expovariate(1.0 / config.mean_history_messages)))
-        for _ in range(n_messages):
+        #: Per-account message-id namespace ("msgh-<acct number>-<n>"):
+        #: ids never depend on materialization order or a shared counter.
+        id_stem = f"msgh-{account.account_id.rpartition('-')[2]}"
+        n_messages = max(2, int(rng.expovariate(
+            1.0 / self._config.mean_history_messages)))
+        obs.observe("population.build.history_messages", n_messages)
+        for index in range(n_messages):
             sent_at = rng.randrange(history_span)
             kind, keywords = _sample_history_kind(rng, user)
             if rng.random() < 0.45:
@@ -290,7 +416,7 @@ def _seed_mail_history(population: Population, config: PopulationConfig,
             sender = correspondent_address if incoming else account.address
             recipient = account.address if incoming else correspondent_address
             message = EmailMessage(
-                message_id=minter.mint("msg"),
+                message_id=f"{id_stem}-{index:04d}",
                 sender=sender,
                 recipients=(recipient,),
                 subject=rng.choice(_ORGANIC_SUBJECTS) if kind is MessageKind.ORGANIC
@@ -302,7 +428,7 @@ def _seed_mail_history(population: Population, config: PopulationConfig,
                 starred=rng.random() < 0.08,
                 read=True,
             )
-            account.mailbox.deliver(
+            mailbox.deliver(
                 message, folder=Folder.INBOX if incoming else Folder.SENT,
             )
 

@@ -15,6 +15,8 @@ import enum
 import random
 from dataclasses import dataclass, field
 
+from repro.util.compat import SLOT_KWARGS
+
 
 class ActivityLevel(enum.Enum):
     """How often the user touches their account.
@@ -38,7 +40,7 @@ class ActivityLevel(enum.Enum):
         return {"daily": 24.0, "weekly": 72.0, "occasional": 240.0}[self.value]
 
 
-@dataclass
+@dataclass(**SLOT_KWARGS)
 class MailboxTraits:
     """What a hijacker would find worth stealing in this user's mailbox."""
 
@@ -62,9 +64,10 @@ class MailboxTraits:
         return min(score, 1.0)
 
 
-@dataclass
+@dataclass(**SLOT_KWARGS)
 class User:
-    """A person holding one account at the primary provider."""
+    """A person holding one account at the primary provider (slotted:
+    one instance per user, a top memory line at scale)."""
 
     user_id: str
     name: str

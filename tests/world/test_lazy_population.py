@@ -1,0 +1,172 @@
+"""Lazy world construction: the determinism contract and its triggers.
+
+The population builder defers per-account mailbox history behind a
+child-seeded materializer.  These tests pin the contract: nothing is
+seeded until first access, every message-touching entry point triggers
+seeding, access order is irrelevant, and a lazily-built world is
+bit-identical to an eagerly-built one.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.net.phones import PhoneNumberPlan
+from repro.util.ids import IdMinter
+from repro.util.rng import RngRegistry
+from repro.world.equivalence import (
+    account_fingerprint,
+    mailbox_fingerprint,
+    population_fingerprint,
+)
+from repro.world.messages import EmailMessage, Folder
+from repro.world.population import (
+    ExternalVictimPool,
+    PopulationConfig,
+    build_population,
+)
+
+
+def build(seed: int = 11, lazy: bool = True, n_users: int = 60,
+          **overrides):
+    rngs = RngRegistry(seed)
+    config = PopulationConfig(
+        n_users=n_users, n_external_edu=25, n_external_other=10,
+        mean_contacts=6, lazy_history=lazy, **overrides)
+    return build_population(config, rngs, IdMinter(),
+                            PhoneNumberPlan(rngs.stream("phones")))
+
+
+class TestLazyTriggers:
+    def test_nothing_materialized_at_build(self):
+        population = build(lazy=True)
+        assert population.pending_history_count() == len(population)
+
+    def test_eager_build_has_no_pending_history(self):
+        population = build(lazy=False)
+        assert population.pending_history_count() == 0
+
+    @pytest.mark.parametrize("touch", [
+        lambda mailbox: len(mailbox),
+        lambda mailbox: mailbox.messages(),
+        lambda mailbox: mailbox.search("wire transfer"),
+        lambda mailbox: mailbox.contact_addresses(),
+        lambda mailbox: mailbox.contact_count(),
+        lambda mailbox: mailbox.starred(),
+        lambda mailbox: mailbox.snapshot(now=0),
+        lambda mailbox: mailbox.delete_all(),
+        lambda mailbox: mailbox.deliver(EmailMessage(
+            message_id="probe-0", sender=mailbox.owner.with_username("x"),
+            recipients=(mailbox.owner,), subject="hi", sent_at=1)),
+    ], ids=["len", "messages", "search", "contacts", "contact_count",
+            "starred", "snapshot", "delete_all", "deliver"])
+    def test_every_message_entry_point_materializes(self, touch):
+        population = build(lazy=True)
+        account = next(iter(population.accounts.values()))
+        assert account.mailbox.history_pending
+        touch(account.mailbox)
+        assert not account.mailbox.history_pending
+
+    def test_materialization_happens_once(self):
+        population = build(lazy=True)
+        account = next(iter(population.accounts.values()))
+        first = len(account.mailbox)
+        assert len(account.mailbox) == first
+        assert mailbox_fingerprint(account.mailbox) \
+            == mailbox_fingerprint(account.mailbox)
+
+    def test_deliver_files_history_before_new_mail(self):
+        """A simulated message must never pre-date history in arrival
+        order — materialization runs before the delivery is filed."""
+        population = build(lazy=True)
+        account = max(build(lazy=False).accounts.values(),
+                      key=lambda a: len(a.mailbox))
+        lazy_account = population.accounts[account.account_id]
+        probe = EmailMessage(
+            message_id="probe-1", sender=account.address.with_username("new"),
+            recipients=(lazy_account.address,), subject="fresh", sent_at=5)
+        lazy_account.mailbox.deliver(probe)
+        order = lazy_account.mailbox.messages(include_deleted=True)
+        assert order[-1].message_id == "probe-1"
+        assert all(m.message_id.startswith("msgh-") for m in order[:-1])
+
+
+class TestLazyEagerEquivalence:
+    def test_worlds_bit_identical(self):
+        lazy = build(seed=23, lazy=True)
+        eager = build(seed=23, lazy=False)
+        assert population_fingerprint(lazy, external_sample=range(35)) \
+            == population_fingerprint(eager, external_sample=range(35))
+
+    def test_access_order_is_irrelevant(self):
+        forward = build(seed=31, lazy=True)
+        backward = build(seed=31, lazy=True)
+        ids = sorted(forward.accounts)
+        for account_id in ids:
+            forward.accounts[account_id].mailbox.messages()
+        for account_id in reversed(ids):
+            backward.accounts[account_id].mailbox.messages()
+        assert population_fingerprint(forward) == population_fingerprint(backward)
+
+    def test_partial_touch_does_not_perturb_the_rest(self):
+        """Materializing one mailbox must not change any other."""
+        touched = build(seed=47, lazy=True)
+        untouched = build(seed=47, lazy=True)
+        victim_id = sorted(touched.accounts)[3]
+        touched.accounts[victim_id].mailbox.search("bank")
+        for account_id in sorted(touched.accounts):
+            assert account_fingerprint(touched.accounts[account_id]) \
+                == account_fingerprint(untouched.accounts[account_id]), account_id
+
+    def test_different_seeds_differ(self):
+        assert population_fingerprint(build(seed=5, lazy=True)) \
+            != population_fingerprint(build(seed=6, lazy=True))
+
+    def test_pending_world_survives_pickle(self):
+        """The parallel runner ships whole worlds across processes, so
+        deferred seeders must pickle — and still materialize correctly
+        on the other side."""
+        population = build(seed=53, lazy=True)
+        clone = pickle.loads(pickle.dumps(population))
+        assert clone.pending_history_count() == len(population) > 0
+        assert population_fingerprint(clone) \
+            == population_fingerprint(build(seed=53, lazy=False))
+
+
+class TestExternalVictimPool:
+    def test_lazy_and_order_independent(self):
+        pool_a = ExternalVictimPool(99, n_edu=40, n_other=20,
+                                    edu_strength=0.3, other_strength=0.97)
+        pool_b = ExternalVictimPool(99, n_edu=40, n_other=20,
+                                    edu_strength=0.3, other_strength=0.97)
+        assert pool_a.materialized_count() == 0
+        forward = [pool_a[i] for i in range(len(pool_a))]
+        backward = [pool_b[i] for i in reversed(range(len(pool_b)))]
+        assert [str(v.address) for v in forward] \
+            == [str(v.address) for v in reversed(backward)]
+        assert [v.gullibility for v in forward] \
+            == [v.gullibility for v in list(reversed(backward))]
+
+    def test_sampling_materializes_only_the_sample(self):
+        pool = ExternalVictimPool(7, n_edu=500, n_other=200,
+                                  edu_strength=0.3, other_strength=0.97)
+        chosen = random.Random(1).sample(pool, 25)
+        assert len(chosen) == 25
+        assert pool.materialized_count() <= 60  # sample overhead only
+
+    def test_edu_other_split(self):
+        pool = ExternalVictimPool(3, n_edu=30, n_other=10,
+                                  edu_strength=0.3, other_strength=0.97)
+        assert all(v.address.tld == "edu" for v in pool[:30])
+        assert all(v.address.tld != "edu" for v in pool[30:])
+        assert all(v.spam_filter_strength == 0.3 for v in pool[:30])
+
+    def test_index_errors(self):
+        pool = ExternalVictimPool(3, n_edu=2, n_other=1,
+                                  edu_strength=0.3, other_strength=0.97)
+        assert pool[-1].address == pool[2].address
+        with pytest.raises(IndexError):
+            pool[3]
