@@ -16,6 +16,14 @@ equality check — the determinism contract of lazy materialization — and
 an absolute ceiling on the bench-world build so history seeding can
 never silently crawl back into the build path.
 
+A third section gates the *report pipeline* (``BENCH_report.json``):
+every report artifact rendered with a private dataset cache (the
+per-module status quo the registry replaced) versus one shared
+:class:`~repro.analysis.registry.ArtifactContext`.  The shared walk must
+issue strictly fewer log-store queries, render byte-identical sections,
+and not be slower beyond noise — so dataset sharing can never silently
+rot back into per-module scans.
+
 Run directly (it is also exercised as a smoke target by the test
 suite's tier-1 run via ``python benchmarks/perf_gate.py --quick``):
 
@@ -32,6 +40,8 @@ import sys
 import time
 
 from repro import obs
+from repro.analysis import registry
+from repro.analysis.registry import ArtifactContext, render_artifact
 from repro.core.config import SimulationConfig
 from repro.core.parallel import run_world
 from repro.logs.events import Actor, LoginEvent, NotificationEvent
@@ -50,6 +60,7 @@ from repro.net.email_addr import EmailAddress
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_logstore.json"
 DEFAULT_WORLDBUILD_OUTPUT = REPO_ROOT / "BENCH_worldbuild.json"
+DEFAULT_REPORT_OUTPUT = REPO_ROOT / "BENCH_report.json"
 
 #: Generous absolute ceiling for one indexed windowed+filtered query.
 #: The measured time is ~3 orders of magnitude below this on 2020s
@@ -217,6 +228,101 @@ def bench_world_smoke(n_queries: int):
     }
 
 
+def _scan_count(counters: dict) -> int:
+    return sum(value for key, value in counters.items()
+               if key.startswith("logstore.query."))
+
+
+def bench_report_pipeline() -> dict:
+    """Per-module status quo vs. the shared-dataset registry walk.
+
+    Both passes render exactly the default report's artifact sequence on
+    the same result; the baseline gives every artifact a private
+    :class:`ArtifactContext` (no sharing — what the hand-wired modules
+    did), the pipelined pass threads one shared context through, like
+    ``full_report``.  Outputs must match byte-for-byte.
+    """
+    config = SimulationConfig(
+        seed=7, n_users=1_500, n_external_edu=300, n_external_other=120,
+        horizon_days=10, campaigns_per_week=12, campaign_target_count=300,
+    )
+    result = run_world(config)
+    keys = [art.key for art in registry.report_sequence()
+            if not art.needs_earlier_era]
+
+    with obs.recording() as recorder:
+        start = time.perf_counter()
+        standalone = {}
+        for key in keys:
+            try:
+                standalone[key] = render_artifact(
+                    key, ArtifactContext(result))
+            except (ValueError, ZeroDivisionError, KeyError):
+                standalone[key] = None
+        baseline_seconds = time.perf_counter() - start
+    baseline_counters = dict(recorder.counters)
+
+    with obs.recording() as recorder:
+        start = time.perf_counter()
+        ctx = ArtifactContext(result)
+        shared = {}
+        for key in keys:
+            try:
+                shared[key] = render_artifact(key, ctx)
+            except (ValueError, ZeroDivisionError, KeyError):
+                shared[key] = None
+        shared_seconds = time.perf_counter() - start
+    shared_counters = dict(recorder.counters)
+
+    divergent = [key for key in keys if standalone[key] != shared[key]]
+    if divergent:
+        raise AssertionError(
+            f"shared-context renders diverge from standalone renders for "
+            f"{divergent}")
+
+    baseline_scans = _scan_count(baseline_counters)
+    shared_scans = _scan_count(shared_counters)
+    return {
+        "seed": config.seed,
+        "n_users": config.n_users,
+        "n_artifacts": len(keys),
+        "artifact_keys": keys,
+        "baseline": {
+            "wall_s": round(baseline_seconds, 4),
+            "logstore_scans": baseline_scans,
+            "dataset_builds": baseline_counters.get(
+                "analysis.dataset.miss", 0),
+        },
+        "pipelined": {
+            "wall_s": round(shared_seconds, 4),
+            "logstore_scans": shared_scans,
+            "dataset_builds": shared_counters.get("analysis.dataset.miss", 0),
+            "dataset_hits": shared_counters.get("analysis.dataset.hit", 0),
+        },
+        "byte_identical": True,
+        "scan_reduction": baseline_scans - shared_scans,
+    }
+
+
+def run_report_gate(output: pathlib.Path) -> dict:
+    bench = bench_report_pipeline()
+    scans_reduced = (bench["pipelined"]["logstore_scans"]
+                     < bench["baseline"]["logstore_scans"])
+    # Wall time is gated leniently: renders take milliseconds, so a
+    # strict comparison would gate on scheduler noise.  The hard
+    # invariant is the scan count.
+    wall_ok = (bench["pipelined"]["wall_s"]
+               <= bench["baseline"]["wall_s"] * 1.5 + 0.05)
+    report = dict(bench)
+    report["gate"] = {
+        "scan_count_strictly_reduced": scans_reduced,
+        "wall_within_noise_of_baseline": wall_ok,
+        "passed": scans_reduced and wall_ok,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
 def _build_population(n_users: int, *, lazy: bool):
     """One deterministic population build, timed (seconds returned)."""
     rngs = RngRegistry(1234)
@@ -339,9 +445,13 @@ def main(argv=None) -> int:
                              "world builds capped at 1,500 users)")
     parser.add_argument("--worldbuild-only", action="store_true",
                         help="run only the world-construction gate")
+    parser.add_argument("--report-only", action="store_true",
+                        help="run only the report-pipeline gate")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
     parser.add_argument("--worldbuild-output", type=pathlib.Path,
                         default=DEFAULT_WORLDBUILD_OUTPUT)
+    parser.add_argument("--report-output", type=pathlib.Path,
+                        default=DEFAULT_REPORT_OUTPUT)
     args = parser.parse_args(argv)
     build_sizes, equality_users = [BENCH_WORLD_USERS, 10_000, 50_000], 300
     if args.quick:
@@ -349,6 +459,15 @@ def main(argv=None) -> int:
         build_sizes = [300, BENCH_WORLD_USERS]
 
     passed = True
+    if args.report_only:
+        report = run_report_gate(args.report_output)
+        _print_report_gate(report, args.report_output)
+        if not report["gate"]["passed"]:
+            passed = False
+        print("gate passed" if passed else "gate FAILED",
+              file=None if passed else sys.stderr)
+        return 0 if passed else 1
+
     worldbuild = run_worldbuild_gate(build_sizes, equality_users,
                                      args.worldbuild_output)
     for entry in worldbuild["builds"]:
@@ -391,9 +510,28 @@ def main(argv=None) -> int:
                   f"the {QUERY_CEILING_SECONDS}s ceiling", file=sys.stderr)
             passed = False
 
+        pipeline = run_report_gate(args.report_output)
+        _print_report_gate(pipeline, args.report_output)
+        if not pipeline["gate"]["passed"]:
+            print("GATE FAILED: shared-context report did not strictly "
+                  "reduce log-store scans", file=sys.stderr)
+            passed = False
+
     print("gate passed" if passed else "gate FAILED", file=None if passed
           else sys.stderr)
     return 0 if passed else 1
+
+
+def _print_report_gate(report: dict, output: pathlib.Path) -> None:
+    baseline, pipelined = report["baseline"], report["pipelined"]
+    print(f"Report pipeline ({report['n_artifacts']} artifacts, "
+          f"{report['n_users']} users): "
+          f"{baseline['logstore_scans']} -> {pipelined['logstore_scans']} "
+          f"log-store scans "
+          f"(-{report['scan_reduction']}), "
+          f"{baseline['wall_s']:.3f}s -> {pipelined['wall_s']:.3f}s, "
+          f"{pipelined['dataset_hits']} dataset cache hits, byte-identical")
+    print(f"wrote {output}")
 
 
 if __name__ == "__main__":

@@ -6,11 +6,18 @@ instrumented by :mod:`repro.obs`: the artifact on stdout stays
 byte-identical (telemetry goes to stderr / the trace file), so
 observability never contaminates the measurement.
 
+Everything artifact-shaped is derived from the registry
+(:mod:`repro.analysis.registry`): the ``--artifact`` choices, the
+``--list-artifacts`` descriptions, and the ``--artifacts`` subgraph
+selection, which renders several artifacts off one shared dataset cache
+and computes only their declared dependency closure.
+
 Examples::
 
     python -m repro --scenario smoke --seed 7
     python -m repro --scenario exploitation --artifact figure8
     python -m repro --scenario decoy --artifact figure7 --seed 13
+    python -m repro --scenario smoke --artifacts figure5,table2
     python -m repro --scenario smoke --metrics --trace /tmp/trace.json
     python -m repro --scenario smoke --n-users 50000 --artifact metrics
     python -m repro --list-scenarios
@@ -25,32 +32,9 @@ import time
 from typing import Callable, Dict
 
 from repro import Simulation, obs
-from repro.analysis import (
-    contacts,
-    defense,
-    exploitation,
-    figure1,
-    figure2,
-    figure3,
-    figure4,
-    figure5,
-    figure6,
-    figure7,
-    figure8,
-    figure9,
-    figure10,
-    figure11,
-    figure12,
-    retention,
-    revenue,
-    table1,
-    table2,
-    table3,
-    workweek,
-)
-from repro.analysis.report import full_report
+from repro.analysis import registry
+from repro.analysis.registry import ArtifactContext, render_artifact
 from repro.core import scenarios
-from repro.core.metrics import SummaryMetrics
 from repro.core.simulation import SimulationResult
 
 SCENARIOS: Dict[str, Callable[[int], object]] = {
@@ -66,67 +50,30 @@ SCENARIOS: Dict[str, Callable[[int], object]] = {
     "rate": scenarios.rate_calibration_study,
 }
 
+#: Key → ``render(result)`` callables, one per registered artifact.  Kept
+#: as a module-level map for API compatibility; the registry is the
+#: source of truth.
+ARTIFACTS: Dict[str, Callable[[SimulationResult], str]] = (
+    registry.legacy_artifact_map())
 
-def _simple(module) -> Callable[[SimulationResult], str]:
-    return lambda result: module.render(module.compute(result))
+#: One-line description per artifact key (``--list-artifacts``), straight
+#: from each artifact's registration — descriptions can no longer drift
+#: from the modules they describe.
+ARTIFACT_DESCRIPTIONS: Dict[str, str] = registry.descriptions()
 
 
-ARTIFACTS: Dict[str, Callable[[SimulationResult], str]] = {
-    "report": full_report,
-    "metrics": lambda result: "\n".join(
-        SummaryMetrics.from_result(result).lines()),
-    "table1": lambda result: table1.render(table1.compute(result)),
-    "table2": _simple(table2),
-    "table3": _simple(table3),
-    "figure1": _simple(figure1),
-    "figure2": _simple(figure2),
-    "figure3": _simple(figure3),
-    "figure4": _simple(figure4),
-    "figure5": _simple(figure5),
-    "figure6": _simple(figure6),
-    "figure7": _simple(figure7),
-    "figure8": _simple(figure8),
-    "figure9": _simple(figure9),
-    "figure10": _simple(figure10),
-    "figure11": _simple(figure11),
-    "figure12": _simple(figure12),
-    "section5.2": _simple(exploitation),
-    "section5.3": lambda result: contacts.render(
-        contacts.hijack_day_deltas(result),
-        contacts.scam_phishing_split(result),
-        contacts.contact_lift(result)),
-    "section5.4": _simple(retention),
-    "section5.5": _simple(workweek),
-    "section8": lambda result: defense.render([defense.evaluate(result)]),
-    "economics": _simple(revenue),
-}
-
-#: One-line description per artifact key (``--list-artifacts``).
-ARTIFACT_DESCRIPTIONS: Dict[str, str] = {
-    "report": "full study report: every table and figure in paper order",
-    "metrics": "headline summary metrics (14-dataset catalog scale)",
-    "table1": "Table 1: log datasets mined and their sizes",
-    "table2": "Table 2: phishing page targets by account type",
-    "table3": "Table 3: mailbox search terms hijackers profile with",
-    "figure1": "Figure 1: hijacking lifecycle timeline",
-    "figure2": "Figure 2: phishing email volume over the study window",
-    "figure3": "Figure 3: phishing email account-type mix",
-    "figure4": "Figure 4: victims arriving on phishing pages per day",
-    "figure5": "Figure 5: page submission (conversion) rates",
-    "figure6": "Figure 6: diurnal wave of the outlier Forms campaign",
-    "figure7": "Figure 7: time from decoy credential to first hijacker login",
-    "figure8": "Figure 8: hijacker response-time CDF to fresh credentials",
-    "figure9": "Figure 9: recovery latency distribution",
-    "figure10": "Figure 10: recovery success per verification channel",
-    "figure11": "Figure 11: hijacker login geolocation mix",
-    "figure12": "Figure 12: country codes of hijacker phone numbers",
-    "section5.2": "Section 5.2: profiling phase durations and search behavior",
-    "section5.3": "Section 5.3: scam/phish split and 36x contact-targeting lift",
-    "section5.4": "Section 5.4: account-retention tactic rates per era",
-    "section5.5": "Section 5.5: hijacker workweek (activity by weekday)",
-    "section8": "Section 8: defense stack evaluation",
-    "economics": "scam revenue model (extortion/wire amounts)",
-}
+def _parse_artifact_list(value: str) -> list:
+    keys = [key.strip() for key in value.split(",") if key.strip()]
+    if not keys:
+        raise argparse.ArgumentTypeError("expected a comma-separated "
+                                         "list of artifact keys")
+    known = set(registry.artifact_keys())
+    unknown = [key for key in keys if key not in known]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown artifact(s): {', '.join(unknown)} "
+            f"(see --list-artifacts)")
+    return keys
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -146,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--artifact", default="report",
                         choices=sorted(ARTIFACTS),
                         help="what to print after the run (default: report)")
+    parser.add_argument("--artifacts", metavar="KEY[,KEY...]", default=None,
+                        type=_parse_artifact_list,
+                        help="render several artifacts off one shared "
+                             "dataset cache, computing only their declared "
+                             "dependency subgraph (overrides --artifact)")
     parser.add_argument("--list-scenarios", action="store_true",
                         help="list scenario presets and exit")
     parser.add_argument("--list-artifacts", action="store_true",
@@ -169,8 +121,8 @@ def main(argv=None) -> int:
                   f"{config.campaigns_per_week:>3} campaigns/week")
         return 0
     if args.list_artifacts:
-        for name in sorted(ARTIFACTS):
-            print(f"{name:<12} {ARTIFACT_DESCRIPTIONS.get(name, '')}")
+        for name, description in registry.descriptions().items():
+            print(f"{name:<12} {description}")
         return 0
 
     recorder = obs.enable() if (args.metrics or args.trace) else None
@@ -184,9 +136,17 @@ def main(argv=None) -> int:
         result = Simulation(config).run()
         print(f"done in {time.perf_counter() - started:.1f}s\n",
               file=sys.stderr)
-        with obs.trace(f"artifact.{args.artifact}"):
-            rendered = ARTIFACTS[args.artifact](result)
-        print(rendered)
+        if args.artifacts is not None:
+            ctx = ArtifactContext(result)
+            rendered = []
+            for key in args.artifacts:
+                with obs.trace(f"artifact.{key}"):
+                    rendered.append(render_artifact(key, ctx))
+            print("\n".join(rendered))
+        else:
+            with obs.trace(f"artifact.{args.artifact}"):
+                rendered = ARTIFACTS[args.artifact](result)
+            print(rendered)
     finally:
         if recorder is not None:
             obs.disable()

@@ -5,8 +5,14 @@ Every analysis is a function of the log store and the curated datasets —
 the same shape as the authors' map-reduce pipelines — and returns plain
 data plus an ASCII rendering, so benches can print the rows the paper
 reports and tests can assert on the numbers.
+
+Importing this package populates the artifact registry: the dataset
+layer and registry come first, then every artifact module in a fixed
+order, so registration is import-time deterministic (each artifact also
+pins its report slot explicitly via ``report_order``).
 """
 
+from repro.analysis import datasets, registry  # noqa: F401  (first: the pipeline core)
 from repro.analysis import (  # noqa: F401
     contacts,
     curation,
@@ -34,6 +40,8 @@ from repro.analysis import (  # noqa: F401
 )
 
 __all__ = [
+    "datasets",
+    "registry",
     "curation",
     "table1",
     "table2",

@@ -14,9 +14,10 @@ Three measurements:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.curation import hijack_windows, hijacker_logins, review_message
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.datasets import DatasetCatalog
 from repro.core.simulation import SimulationResult
 from repro.logs.events import MailReportedEvent, MailSentEvent
@@ -59,20 +60,19 @@ class ContactLift:
         return self.contact_rate / self.random_rate
 
 
-def hijack_day_deltas(result: SimulationResult,
-                      sample: int = 575) -> HijackDayDeltas:
+def hijack_day_deltas(result: SimulationResult, sample: int = 575, *,
+                      accounts: Optional[Sequence] = None,
+                      windows: Optional[Dict[str, Tuple[int, int]]] = None,
+                      reports: Optional[Sequence] = None) -> HijackDayDeltas:
     """Volume / recipient / report ratios, averaged over hijacked accounts."""
-    catalog = DatasetCatalog(result)
-    accounts = catalog.d7_hijacked_accounts(sample=sample)
-    windows = hijack_windows(result.store,
-                             [a.account_id for a in accounts])
+    if accounts is None:
+        accounts = DatasetCatalog(result).d7_hijacked_accounts(sample=sample)
+    if windows is None:
+        windows = hijack_windows(result.store,
+                                 [a.account_id for a in accounts])
 
-    sent = result.store.query(MailSentEvent)
-    sent_by_account: Dict[str, List[MailSentEvent]] = {}
-    for event in sent:
-        sent_by_account.setdefault(event.account_id, []).append(event)
-
-    reports = result.store.query(MailReportedEvent)
+    if reports is None:
+        reports = result.store.query(MailReportedEvent)
     reported_message_ids = {r.message_id for r in reports}
 
     volume_day = volume_prev = 0
@@ -89,7 +89,10 @@ def hijack_day_deltas(result: SimulationResult,
         counted += 1
         recipients_day: set = set()
         recipients_prev: set = set()
-        for event in sent_by_account.get(account.account_id, ()):
+        # Indexed per-account lookup: same events, same order as grouping
+        # a full MailSentEvent scan, without paying the scan per call.
+        for event in result.store.query(
+                MailSentEvent, account_id=account.account_id):
             if day_start <= event.timestamp < day_start + DAY:
                 volume_day += 1
                 recipients_day.update(event.distinct_recipients)
@@ -115,10 +118,11 @@ def hijack_day_deltas(result: SimulationResult,
     )
 
 
-def scam_phishing_split(result: SimulationResult,
-                        sample: int = 200) -> Dict[str, float]:
+def scam_phishing_split(result: SimulationResult, sample: int = 200, *,
+                        messages: Optional[Sequence] = None) -> Dict[str, float]:
     """The manual review of Dataset 8: category → share."""
-    messages = DatasetCatalog(result).d8_reported_hijack_mail(sample=sample)
+    if messages is None:
+        messages = DatasetCatalog(result).d8_reported_hijack_mail(sample=sample)
     if not messages:
         return {}
     counts: Dict[str, int] = {}
@@ -131,7 +135,9 @@ def scam_phishing_split(result: SimulationResult,
 
 def contact_lift(result: SimulationResult, cohort_size: int = 3000,
                  seed_window_days: Optional[int] = None,
-                 follow_up_days: int = 60) -> ContactLift:
+                 follow_up_days: int = 60, *,
+                 logins: Optional[Sequence] = None,
+                 catalog: Optional[DatasetCatalog] = None) -> ContactLift:
     """Dataset 9's experiment.
 
     The paper sampled contacts of hijacked accounts and counted manual
@@ -147,7 +153,8 @@ def contact_lift(result: SimulationResult, cohort_size: int = 3000,
 
     # Victim exposure times: first hijacker login per exploited account
     # within the seed window.
-    logins = hijacker_logins(result.store)
+    if logins is None:
+        logins = hijacker_logins(result.store)
     first_hijack_login: Dict[str, int] = {}
     for login in logins:
         first_hijack_login.setdefault(login.account_id, login.timestamp)
@@ -189,7 +196,8 @@ def contact_lift(result: SimulationResult, cohort_size: int = 3000,
     )
 
     # Random cohort: active users observed over matched windows.
-    catalog = DatasetCatalog(result)
+    if catalog is None:
+        catalog = DatasetCatalog(result)
     _, random_cohort = catalog.d9_cohorts(
         cohort_size=cohort_size, seed_window_days=seed_window_days)
     exposure_times = sorted(at for _, at in contact_items) or [0]
@@ -250,3 +258,21 @@ def render(deltas: HijackDayDeltas, split: Dict[str, float],
            else f"{lift.lift:.0f}x"),
     ]
     return "\n".join(lines)
+
+
+@artifact("section5.3", title="Section 5.3", report_order=130,
+          description=("Section 5.3: hijack-day deltas, scam/phish split, "
+                       "and the contact-targeting lift"),
+          deps=("hijacked_accounts", "incident_timeline", "mail_reports",
+                "reported_hijack_mail", "hijacker_logins", "catalog"))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(
+        hijack_day_deltas(ctx.result,
+                          accounts=ctx.dataset("hijacked_accounts"),
+                          windows=ctx.dataset("incident_timeline"),
+                          reports=ctx.dataset("mail_reports")),
+        scam_phishing_split(ctx.result,
+                            messages=ctx.dataset("reported_hijack_mail")),
+        contact_lift(ctx.result,
+                     logins=ctx.dataset("hijacker_logins"),
+                     catalog=ctx.dataset("catalog")))

@@ -1,0 +1,314 @@
+"""Named, memoized log extractions shared across analysis artifacts.
+
+The paper's pipelines all start from a handful of curated pools (the
+Table 1 datasets, the hijacker-attributed event streams, the recovery
+timeline).  Before this layer each figure/table module re-extracted its
+own pools from the :class:`~repro.logs.store.LogStore`; a full report
+paid the same scans many times over.  Here every extraction is a
+**registered, dependency-declared dataset**: built at most once per
+:class:`~repro.core.simulation.SimulationResult`, cached on a
+:class:`Datasets` resolver, and shared by every artifact that declares
+it (see :mod:`repro.analysis.registry`).
+
+Contract:
+
+* **Pure.**  A builder is a deterministic function of the result and its
+  declared dependencies — no global RNG, no mutation of simulation
+  state.  A cache hit is byte-for-byte what a recomputation would
+  return; callers treat datasets as read-only.
+* **Declared.**  A builder may only resolve datasets named in its
+  ``deps`` — undeclared access raises :class:`UndeclaredDatasetError`.
+  This keeps the dependency graph honest, so subgraph selection
+  (``--artifacts figure5``) provably computes only what is declared.
+* **Observable.**  Every build runs under an ``analysis.dataset.build``
+  span and bumps ``analysis.dataset.build.<name>``; cache hits bump
+  ``analysis.dataset.hit`` — the perf gate and tests assert sharing on
+  these counters.
+* **Import-time deterministic, pickling-free.**  The registry is
+  populated by this module's import alone, and resolvers hold plain
+  per-result caches — nothing here needs to cross a process boundary,
+  so :func:`repro.core.parallel.run_worlds` results feed straight in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Tuple
+
+from repro import obs
+from repro.core.datasets import DatasetCatalog
+from repro.core.simulation import SimulationResult
+from repro.logs.events import (
+    Actor,
+    FolderOpenEvent,
+    HijackFlagEvent,
+    MailSentEvent,
+    NotificationEvent,
+)
+
+__all__ = [
+    "Dataset", "Datasets", "UndeclaredDatasetError", "UnknownDatasetError",
+    "dataset", "dataset_closure", "dataset_names", "get_dataset",
+]
+
+
+class UnknownDatasetError(KeyError):
+    """A dataset name that nothing registered."""
+
+
+class UndeclaredDatasetError(RuntimeError):
+    """A builder or artifact resolved a dataset it did not declare."""
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """One registered extraction: name, declared deps, builder."""
+
+    name: str
+    description: str
+    deps: Tuple[str, ...]
+    build: Callable[["Datasets"], Any]
+
+
+_DATASETS: Dict[str, Dataset] = {}
+
+
+def dataset(name: str, *, deps: Iterable[str] = (),
+            description: str = "") -> Callable:
+    """Register a dataset builder: ``@dataset("hijacker_logins")``.
+
+    ``deps`` must already be registered (definition order doubles as a
+    topological order), so a bad declaration fails at import time.
+    """
+    dep_tuple = tuple(deps)
+
+    def register(build: Callable[["Datasets"], Any]) -> Callable:
+        if name in _DATASETS:
+            raise ValueError(f"dataset {name!r} registered twice")
+        for dep in dep_tuple:
+            if dep not in _DATASETS:
+                raise ValueError(
+                    f"dataset {name!r} depends on unregistered {dep!r}")
+        lines = (build.__doc__ or "").strip().splitlines() or [""]
+        doc = description or lines[0]
+        _DATASETS[name] = Dataset(name, doc, dep_tuple, build)
+        return build
+
+    return register
+
+
+def get_dataset(name: str) -> Dataset:
+    try:
+        return _DATASETS[name]
+    except KeyError:
+        raise UnknownDatasetError(name) from None
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """Registered names, in (deterministic) registration order."""
+    return tuple(_DATASETS)
+
+
+def dataset_closure(names: Iterable[str]) -> FrozenSet[str]:
+    """Transitive dependency closure over the registered graph."""
+    closure: set = set()
+    frontier = list(names)
+    while frontier:
+        name = frontier.pop()
+        if name in closure:
+            continue
+        closure.add(name)
+        frontier.extend(get_dataset(name).deps)
+    return frozenset(closure)
+
+
+class Datasets:
+    """Per-result resolver: memoizes every dataset it is asked for.
+
+    One resolver shared across artifacts is what turns N per-module
+    scans into one — the report pipeline and the CLI both thread a
+    single instance through every render.
+    """
+
+    def __init__(self, result: SimulationResult):
+        self.result = result
+        self._cache: Dict[str, Any] = {}
+        self._building: List[str] = []
+
+    def get(self, name: str) -> Any:
+        spec = get_dataset(name)
+        if self._building:
+            parent = self._building[-1]
+            if name not in get_dataset(parent).deps:
+                raise UndeclaredDatasetError(
+                    f"dataset {parent!r} resolved {name!r} without "
+                    f"declaring it (deps: {get_dataset(parent).deps})")
+        if name in self._cache:
+            obs.count("analysis.dataset.hit")
+            obs.count(f"analysis.dataset.hit.{name}")
+            return self._cache[name]
+        obs.count("analysis.dataset.miss")
+        obs.count(f"analysis.dataset.build.{name}")
+        with obs.trace("analysis.dataset.build", dataset=name):
+            self._building.append(name)
+            try:
+                value = spec.build(self)
+            finally:
+                self._building.pop()
+        self._cache[name] = value
+        return value
+
+    def built(self) -> Tuple[str, ...]:
+        """Names built so far (test/bench introspection)."""
+        return tuple(self._cache)
+
+
+# -- the catalog and its curated datasets ------------------------------------
+#
+# The shared DatasetCatalog is itself a dataset: every builder that
+# narrows a Table 1 pool goes through one catalog instance, whose own
+# per-(dataset, args) memoization collapses repeated builds (e.g. D7
+# feeding both Section 5.4 and the Table 1 inventory).
+
+@dataset("catalog")
+def _catalog(data: Datasets) -> DatasetCatalog:
+    """The shared Table 1 catalog (D1–D14 builders, memoized)."""
+    return DatasetCatalog(data.result)
+
+
+@dataset("dataset_specs", deps=("catalog",))
+def _dataset_specs(data: Datasets):
+    """Every Table 1 row: all 14 datasets built at paper sample sizes."""
+    return data.get("catalog").build_all()
+
+
+@dataset("phishing_emails", deps=("catalog",))
+def _phishing_emails(data: Datasets):
+    """D1: reported emails curated down to real phishing."""
+    return data.get("catalog").d1_phishing_emails()
+
+
+@dataset("detected_pages", deps=("catalog",))
+def _detected_pages(data: Datasets):
+    """D2: phishing pages detected by SafeBrowsing."""
+    return data.get("catalog").d2_detected_pages()
+
+
+@dataset("forms_http_logs", deps=("catalog",))
+def _forms_http_logs(data: Datasets):
+    """D3: per-page HTTP logs of taken-down Forms pages."""
+    return data.get("catalog").d3_forms_http_logs()
+
+
+@dataset("hijacked_accounts", deps=("catalog",))
+def _hijacked_accounts(data: Datasets):
+    """D7: high-confidence manually hijacked accounts."""
+    return data.get("catalog").d7_hijacked_accounts()
+
+
+@dataset("reported_hijack_mail", deps=("catalog",))
+def _reported_hijack_mail(data: Datasets):
+    """D8: reported mail sent from hijacked accounts in-window."""
+    return data.get("catalog").d8_reported_hijack_mail()
+
+
+@dataset("recovery_claims_month", deps=("catalog",))
+def _recovery_claims_month(data: Datasets):
+    """D12: one month of recovery claims."""
+    return data.get("catalog").d12_recovery_claims()
+
+
+@dataset("hijack_cases", deps=("catalog",))
+def _hijack_cases(data: Datasets):
+    """D13: hijack-case account ids for IP attribution."""
+    return data.get("catalog").d13_hijack_cases()
+
+
+@dataset("mail_reports", deps=("catalog",))
+def _mail_reports(data: Datasets):
+    """Every spam/phishing report (the unindexable D1/D8 source pool)."""
+    return data.get("catalog").mail_reports()
+
+
+@dataset("recovery_claims", deps=("catalog",))
+def _recovery_claims(data: Datasets):
+    """Every recovery claim, timestamp-sorted."""
+    return data.get("catalog").recovery_claims()
+
+
+# -- hijacker action streams (login sessions & in-account behavior) ----------
+
+@dataset("hijacker_logins")
+def _hijacker_logins(data: Datasets):
+    """Login attempts attributed to manual hijackers (D5/D13 verdicts)."""
+    from repro.analysis.curation import hijacker_logins
+
+    return hijacker_logins(data.result.store)
+
+
+@dataset("incident_timeline", deps=("hijacker_logins", "hijacked_accounts"))
+def _incident_timeline(data: Datasets):
+    """Per hijacked account, the (first, last) hijacker-login window."""
+    wanted = {account.account_id for account in data.get("hijacked_accounts")}
+    windows: Dict[str, Tuple[int, int]] = {}
+    for login in data.get("hijacker_logins"):
+        if login.account_id not in wanted:
+            continue
+        first, last = windows.get(
+            login.account_id, (login.timestamp, login.timestamp))
+        windows[login.account_id] = (
+            min(first, login.timestamp), max(last, login.timestamp))
+    return windows
+
+
+@dataset("hijacker_sends")
+def _hijacker_sends(data: Datasets):
+    """Mail sent by manual hijackers from victim accounts."""
+    return data.result.store.query(
+        MailSentEvent, actor=Actor.MANUAL_HIJACKER)
+
+
+@dataset("hijacker_searches")
+def _hijacker_searches(data: Datasets):
+    """Search events attributed to hijacker sessions (D6)."""
+    from repro.analysis.curation import hijacker_searches
+
+    return hijacker_searches(data.result.store)
+
+
+@dataset("hijacker_folder_opens")
+def _hijacker_folder_opens(data: Datasets):
+    """Folder opens attributed to hijacker sessions (Section 5.2)."""
+    return data.result.store.query(
+        FolderOpenEvent, actor=Actor.MANUAL_HIJACKER)
+
+
+# -- remediation outcomes ----------------------------------------------------
+
+@dataset("notifications")
+def _notifications(data: Datasets):
+    """Every proactive hijack notification sent to a victim."""
+    return data.result.store.query(NotificationEvent)
+
+
+@dataset("hijack_flags")
+def _hijack_flags(data: Datasets):
+    """Every risk-analysis / behavioral / user-claim hijack flag."""
+    return data.result.store.query(HijackFlagEvent)
+
+
+@dataset("recovery_latencies", deps=("recovery_claims", "hijack_flags"))
+def _recovery_latencies(data: Datasets):
+    """Flag→claim latencies per recovered account (Figure 9's series)."""
+    from repro.recovery.latency import recovery_latencies
+
+    return recovery_latencies(
+        data.result.store,
+        claims=data.get("recovery_claims"),
+        flags=data.get("hijack_flags"))
+
+
+@dataset("decoy_access_deltas")
+def _decoy_access_deltas(data: Datasets):
+    """Per-decoy minutes from credential submission to first pickup."""
+    return data.result.decoys.first_access_deltas(data.result.store)

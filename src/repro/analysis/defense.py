@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.config import SimulationConfig
 from repro.core.simulation import Simulation, SimulationResult
 from repro.logs.events import Actor, HijackFlagEvent, LoginEvent, MailSentEvent
@@ -34,7 +35,10 @@ class DefensePoint:
     n_hijacker_logins: int
 
 
-def evaluate(result: SimulationResult) -> DefensePoint:
+def evaluate(result: SimulationResult, *,
+             logins: Optional[Sequence[LoginEvent]] = None,
+             flags: Optional[Sequence[HijackFlagEvent]] = None,
+             sends: Optional[Sequence[MailSentEvent]] = None) -> DefensePoint:
     store = result.store
     owner_logins = store.query(
         LoginEvent, actor=Actor.OWNER,
@@ -43,19 +47,27 @@ def evaluate(result: SimulationResult) -> DefensePoint:
     owner_challenged = sum(1 for e in owner_logins if e.challenged or e.blocked)
     owner_rate = owner_challenged / len(owner_logins) if owner_logins else 0.0
 
-    hijacker_logins = store.query(
-        LoginEvent, actor=Actor.MANUAL_HIJACKER,
-        where=lambda e: e.password_correct,
-    )
+    if logins is None:
+        hijacker_logins = store.query(
+            LoginEvent, actor=Actor.MANUAL_HIJACKER,
+            where=lambda e: e.password_correct,
+        )
+    else:
+        hijacker_logins = [e for e in logins if e.password_correct]
     stopped = sum(
         1 for e in hijacker_logins
         if e.blocked or (e.challenged and not e.succeeded))
     hijacker_rate = stopped / len(hijacker_logins) if hijacker_logins else 0.0
 
-    flags = store.query(
-        HijackFlagEvent, where=lambda e: e.source == "behavioral")
+    if flags is None:
+        flags = store.query(
+            HijackFlagEvent, where=lambda e: e.source == "behavioral")
+    else:
+        flags = [e for e in flags if e.source == "behavioral"]
+    if sends is None:
+        sends = store.query(MailSentEvent, actor=Actor.MANUAL_HIJACKER)
     first_hijack_send = {}
-    for sent in store.query(MailSentEvent, actor=Actor.MANUAL_HIJACKER):
+    for sent in sends:
         first_hijack_send.setdefault(sent.account_id, sent.timestamp)
     too_late: Optional[float] = None
     if flags:
@@ -103,3 +115,14 @@ def render(points: Sequence[DefensePoint]) -> str:
         ],
         title="Section 8: login-risk aggressiveness trade-off",
     )
+
+
+@artifact("section8", title="Section 8", report_order=200,
+          description="Section 8: defense stack evaluation",
+          deps=("hijacker_logins", "hijack_flags", "hijacker_sends"))
+def _registered(ctx: ArtifactContext) -> str:
+    return render([evaluate(
+        ctx.result,
+        logins=ctx.dataset("hijacker_logins"),
+        flags=ctx.dataset("hijack_flags"),
+        sends=ctx.dataset("hijacker_sends"))])

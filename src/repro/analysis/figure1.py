@@ -10,8 +10,9 @@ that the measured points land in their Figure 1 regions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.simulation import SimulationResult
 from repro.hijacker.taxonomy import AttackClass, classify_observed
 from repro.logs.events import Actor, LoginEvent
@@ -29,14 +30,16 @@ class TaxonomyPoint:
     classified_as: AttackClass
 
 
-def _accounts_per_day(result: SimulationResult, actor: Actor) -> float:
+def _accounts_per_day(result: SimulationResult, actor: Actor,
+                      logins: Optional[Sequence[LoginEvent]] = None) -> float:
     """Accounts touched per day, normalized to a million-user provider.
 
     The taxonomy's volume envelopes are absolute (a botnet touches tens
     of thousands of accounts a day at Google's scale); normalizing by
     population puts our smaller world on the same axis.
     """
-    logins = result.store.query(LoginEvent, actor=actor)
+    if logins is None:
+        logins = result.store.query(LoginEvent, actor=actor)
     if not logins:
         return 0.0
     accounts = {login.account_id for login in logins}
@@ -65,11 +68,14 @@ def _manual_depth(result: SimulationResult) -> float:
     return score / len(accessed)
 
 
-def compute(result: SimulationResult) -> List[TaxonomyPoint]:
+def compute(result: SimulationResult, *,
+            manual_logins: Optional[Sequence[LoginEvent]] = None,
+            ) -> List[TaxonomyPoint]:
     """Measured (volume, depth) per attack class present in the run."""
     points: List[TaxonomyPoint] = []
 
-    manual_volume = _accounts_per_day(result, Actor.MANUAL_HIJACKER)
+    manual_volume = _accounts_per_day(result, Actor.MANUAL_HIJACKER,
+                                      logins=manual_logins)
     if manual_volume > 0:
         depth = _manual_depth(result)
         points.append(TaxonomyPoint(
@@ -114,3 +120,11 @@ def render(points: List[TaxonomyPoint]) -> str:
         ],
         title="Figure 1: depth of exploitation vs. number of accounts",
     )
+
+
+@artifact("figure1", title="Figure 1", report_order=40,
+          description="Figure 1: depth of exploitation vs. accounts per day",
+          deps=("hijacker_logins",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(
+        ctx.result, manual_logins=ctx.dataset("hijacker_logins")))

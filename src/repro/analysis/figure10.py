@@ -9,8 +9,9 @@ method, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.datasets import DatasetCatalog
 from repro.core.simulation import SimulationResult
 from repro.logs.mapreduce import MapReduceJob, run_job
@@ -36,8 +37,11 @@ class Figure10:
         return tuple((method, self.success_rate(method)) for method in METHODS)
 
 
-def compute(result: SimulationResult, window_days: int = 28) -> Figure10:
-    claims = DatasetCatalog(result).d12_recovery_claims(window_days=window_days)
+def compute(result: SimulationResult, window_days: int = 28, *,
+            claims: Optional[Sequence] = None) -> Figure10:
+    if claims is None:
+        claims = DatasetCatalog(result).d12_recovery_claims(
+            window_days=window_days)
     job = MapReduceJob(
         mapper=lambda claim: [(claim.method, (1, 1 if claim.succeeded else 0))],
         reducer=lambda _method, pairs: (
@@ -60,3 +64,11 @@ def render(figure: Figure10) -> str:
                f"({sum(figure.attempts.values())} attempts)"),
         value_format="{:.2f}%",
     )
+
+
+@artifact("figure10", title="Figure 10", report_order=170,
+          description="Figure 10: recovery success per verification channel",
+          deps=("recovery_claims_month",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(
+        ctx.result, claims=ctx.dataset("recovery_claims_month")))

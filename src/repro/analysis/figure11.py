@@ -9,8 +9,9 @@ both this and the phone dataset.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.attribution.geolocate import country_shares, geolocate_hijack_ips
 from repro.core.datasets import DatasetCatalog
 from repro.core.simulation import SimulationResult
@@ -31,8 +32,10 @@ class Figure11:
         return 0.0
 
 
-def compute(result: SimulationResult, sample: int = 3000) -> Figure11:
-    cases = DatasetCatalog(result).d13_hijack_cases(sample=sample)
+def compute(result: SimulationResult, sample: int = 3000, *,
+            cases: Optional[Sequence[str]] = None) -> Figure11:
+    if cases is None:
+        cases = DatasetCatalog(result).d13_hijack_cases(sample=sample)
     counts = geolocate_hijack_ips(result.store, result.geoip, cases)
     return Figure11(counts=counts, shares=country_shares(counts))
 
@@ -46,3 +49,10 @@ def render(figure: Figure11) -> str:
                f"({sum(figure.counts.values())} IPs)"),
         value_format="{:.1f}%",
     )
+
+
+@artifact("figure11", title="Figure 11", report_order=180,
+          description="Figure 11: countries of the IPs behind hijack cases",
+          deps=("hijack_cases",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(ctx.result, cases=ctx.dataset("hijack_cases")))

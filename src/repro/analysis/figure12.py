@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.attribution.geolocate import country_shares
 from repro.attribution.phones import hijacker_phone_countries
 from repro.core.simulation import SimulationResult
@@ -50,3 +51,9 @@ def render(figure: Figure12) -> str:
                f"hijacking ({figure.total_phones} phones)"),
         value_format="{:.1f}%",
     )
+
+
+@artifact("figure12", title="Figure 12", report_order=190,
+          description="Figure 12: country codes of hijacker phone numbers")
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(ctx.result))

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.simulation import SimulationResult
 from repro.util.clock import format_duration
 from repro.util.distributions import EmpiricalCdf
@@ -85,3 +86,9 @@ def render(timings: LifecycleTimings) -> str:
         "",
         f"  measured over {timings.n_incidents} incidents",
     ])
+
+
+@artifact("figure2", title="Figure 2", report_order=50,
+          description="Figure 2: the hijacking cycle's median dwell times")
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(ctx.result))

@@ -9,8 +9,9 @@ explaining the GMail oddity.  Computed from Dataset 3's Forms HTTP logs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.datasets import DatasetCatalog
 from repro.core.simulation import SimulationResult
 from repro.logs.mapreduce import count_by
@@ -37,8 +38,10 @@ class Figure3:
         )
 
 
-def compute(result: SimulationResult, sample: int = 100) -> Figure3:
-    logs = DatasetCatalog(result).d3_forms_http_logs(sample=sample)
+def compute(result: SimulationResult, sample: int = 100, *,
+            logs: Optional[Dict] = None) -> Figure3:
+    if logs is None:
+        logs = DatasetCatalog(result).d3_forms_http_logs(sample=sample)
     views = [
         event.request
         for events in logs.values()
@@ -66,3 +69,10 @@ def render(figure: Figure3) -> str:
         value_format="{:.0f}",
     )
     return chart
+
+
+@artifact("figure3", title="Figure 3", report_order=60,
+          description="Figure 3: HTTP referrers of phishing-page visits",
+          deps=("forms_http_logs",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(ctx.result, logs=ctx.dataset("forms_http_logs")))

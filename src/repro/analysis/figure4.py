@@ -9,8 +9,9 @@ the big providers (Section 4.2).  Computed from Dataset 3's POSTs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.datasets import DatasetCatalog
 from repro.core.simulation import SimulationResult
 from repro.logs.mapreduce import count_by
@@ -36,8 +37,10 @@ class Figure4:
         )
 
 
-def compute(result: SimulationResult, sample: int = 100) -> Figure4:
-    logs = DatasetCatalog(result).d3_forms_http_logs(sample=sample)
+def compute(result: SimulationResult, sample: int = 100, *,
+            logs: Optional[Dict] = None) -> Figure4:
+    if logs is None:
+        logs = DatasetCatalog(result).d3_forms_http_logs(sample=sample)
     tlds = []
     for events in logs.values():
         for event in events:
@@ -61,3 +64,10 @@ def render(figure: Figure4) -> str:
                f"{figure.total_submissions} submissions)"),
         value_format="{:.0f}",
     )
+
+
+@artifact("figure4", title="Figure 4", report_order=70,
+          description="Figure 4: TLDs of phished email addresses",
+          deps=("forms_http_logs",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(ctx.result, logs=ctx.dataset("forms_http_logs")))

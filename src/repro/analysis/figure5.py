@@ -8,8 +8,9 @@ pages that were "very poorly executed".  Computed from Dataset 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.datasets import DatasetCatalog
 from repro.core.simulation import SimulationResult
 from repro.net.http import Method
@@ -37,11 +38,12 @@ class Figure5:
 
 
 def compute(result: SimulationResult, sample: int = 100,
-            min_views: int = 8) -> Figure5:
+            min_views: int = 8, *, logs: Optional[Dict] = None) -> Figure5:
     """Conversion per page; pages with too few views are dropped (a
     3-view page's 0% or 33% is noise, and the paper's per-page chart is
     built from pages with real traffic)."""
-    logs = DatasetCatalog(result).d3_forms_http_logs(sample=sample)
+    if logs is None:
+        logs = DatasetCatalog(result).d3_forms_http_logs(sample=sample)
     rates: List[Tuple[str, float, int, int]] = []
     for page_id, events in sorted(logs.items()):
         gets = sum(1 for e in events if e.request.method is Method.GET)
@@ -68,3 +70,10 @@ def render(figure: Figure5) -> str:
          for page_id, rate, gets, posts in top],
     ))
     return "\n".join(lines)
+
+
+@artifact("figure5", title="Figure 5", report_order=80,
+          description="Figure 5: page submission (conversion) rates",
+          deps=("forms_http_logs",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(ctx.result, logs=ctx.dataset("forms_http_logs")))

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.datasets import DatasetCatalog
 from repro.core.simulation import SimulationResult
 from repro.net.http import Method
@@ -61,8 +62,10 @@ def _outlier_score(series: List[float], quiet_hours: int = 12) -> float:
     return late - 3.0 * early
 
 
-def compute(result: SimulationResult, sample: int = 100) -> Figure6:
-    logs = DatasetCatalog(result).d3_forms_http_logs(sample=sample)
+def compute(result: SimulationResult, sample: int = 100, *,
+            logs: Optional[Dict] = None) -> Figure6:
+    if logs is None:
+        logs = DatasetCatalog(result).d3_forms_http_logs(sample=sample)
     all_series: Dict[str, List[float]] = {
         page_id: _hourly_series(events)
         for page_id, events in logs.items() if events
@@ -95,3 +98,10 @@ def render(figure: Figure6) -> str:
         lines.append(f"  outlier page {page_id} (quiet start, then a wave):")
         lines.append("  " + sparkline(series[:96]))
     return "\n".join(lines)
+
+
+@artifact("figure6", title="Figure 6", report_order=90,
+          description="Figure 6: diurnal wave of the outlier Forms campaign",
+          deps=("forms_http_logs",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(ctx.result, logs=ctx.dataset("forms_http_logs")))

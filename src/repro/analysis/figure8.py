@@ -9,9 +9,10 @@ success rate including trivial-variant retries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.curation import hijacker_logins
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.simulation import SimulationResult
 from repro.util.clock import DAY
 from repro.util.distributions import mean
@@ -30,8 +31,10 @@ class Figure8:
     password_success_rate: float
 
 
-def compute(result: SimulationResult) -> Figure8:
-    logins = hijacker_logins(result.store)
+def compute(result: SimulationResult, *,
+            logins: Optional[Sequence] = None) -> Figure8:
+    if logins is None:
+        logins = hijacker_logins(result.store)
     accounts_by_ip: Dict[str, set] = {}
     accounts_by_ip_day: Dict[Tuple[str, int], set] = {}
     for login in logins:
@@ -83,3 +86,11 @@ def render(figure: Figure8) -> str:
         "day", "mean accounts per active IP",
     )
     return header + "\n" + table
+
+
+@artifact("figure8", title="Figure 8", report_order=110,
+          description=("Figure 8: hijacker accounts-per-IP blend-in "
+                       "profile and password success"),
+          deps=("hijacker_logins",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(ctx.result, logins=ctx.dataset("hijacker_logins")))

@@ -9,8 +9,9 @@ the log store by :mod:`repro.recovery.latency`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.simulation import SimulationResult
 from repro.logs.events import (
     HijackFlagEvent,
@@ -43,8 +44,11 @@ class Figure9:
         return latency_histogram(list(self.latencies))
 
 
-def compute(result: SimulationResult) -> Figure9:
-    return Figure9(latencies=tuple(recovery_latencies(result.store)))
+def compute(result: SimulationResult, *,
+            latencies: Optional[Sequence[int]] = None) -> Figure9:
+    if latencies is None:
+        latencies = recovery_latencies(result.store)
+    return Figure9(latencies=tuple(latencies))
 
 
 def latency_by_notification(result: SimulationResult
@@ -118,3 +122,11 @@ def render(figure: Figure9) -> str:
         "hour", "recoveries",
     ))
     return "\n".join(lines)
+
+
+@artifact("figure9", title="Figure 9", report_order=160,
+          description="Figure 9: recovery latency distribution",
+          deps=("recovery_latencies",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(
+        ctx.result, latencies=ctx.dataset("recovery_latencies")))

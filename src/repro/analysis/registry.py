@@ -1,0 +1,211 @@
+"""The artifact registry: every figure, table, and section, declared.
+
+The paper's deliverable is a fixed catalog of artifacts (Tables 1–3,
+Figures 1–12, the Section 5/8 analyses).  Each analysis module registers
+its artifacts here with a key, the report section title, a one-line
+description, a render function, and the **datasets** it depends on
+(:mod:`repro.analysis.datasets`).  Everything downstream is derived from
+this registry — the full report is a walk over :func:`report_sequence`,
+``--list-artifacts`` prints :func:`descriptions`, and ``--artifacts``
+selection resolves exactly the declared dependency subgraph.
+
+Registration happens at import time of :mod:`repro.analysis` and is
+deterministic: module import order fixes registration order, and every
+artifact carries an explicit ``report_order`` that pins its slot in the
+paper-ordered report, independent of import order.  Nothing in the
+registry holds per-run state — render functions receive an
+:class:`ArtifactContext` that owns the per-result dataset cache — so
+results produced by :func:`repro.core.parallel.run_worlds` feed straight
+into :func:`render_artifact` in the parent process; no registry object
+ever needs pickling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro import obs
+from repro.analysis.datasets import (
+    Datasets,
+    UndeclaredDatasetError,
+    dataset_closure,
+    get_dataset,
+)
+from repro.core.simulation import SimulationResult
+
+__all__ = [
+    "Artifact", "ArtifactContext", "UnknownArtifactError", "artifact",
+    "artifact_keys", "artifacts", "descriptions", "get", "legacy_artifact_map",
+    "render_artifact", "render_artifacts", "report_sequence",
+]
+
+
+class UnknownArtifactError(KeyError):
+    """An artifact key that nothing registered."""
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One registered measurement artifact."""
+
+    key: str
+    title: str
+    description: str
+    deps: Tuple[str, ...]
+    render: Callable[["ArtifactContext"], str]
+    #: Slot in the default full report (paper order); ``None`` keeps the
+    #: artifact CLI-only (e.g. ``report`` itself, ``metrics``).
+    report_order: Optional[int]
+    #: Skipped by the report walk unless an earlier-era result is given.
+    needs_earlier_era: bool
+    #: Composite artifacts (the full report) delegate to other artifacts
+    #: and are exempt from their own dataset-subgraph restriction — each
+    #: delegated render is restricted individually.
+    composite: bool
+
+
+_REGISTRY: Dict[str, Artifact] = {}
+
+
+def artifact(key: str, *, title: Optional[str] = None, description: str,
+             deps: Iterable[str] = (), report_order: Optional[int] = None,
+             needs_earlier_era: bool = False,
+             composite: bool = False) -> Callable:
+    """Register an artifact render function.
+
+    ::
+
+        @artifact("figure5", title="Figure 5", report_order=80,
+                  description="Figure 5: page submission rates",
+                  deps=("forms_http_logs",))
+        def _figure5(ctx: ArtifactContext) -> str:
+            return render(compute_from_logs(ctx.dataset("forms_http_logs")))
+
+    Keys must be unique, descriptions non-empty, dependencies registered
+    datasets, and report orders unique — all enforced at import time so
+    a drifting registration fails the first test that touches analysis.
+    """
+    dep_tuple = tuple(deps)
+
+    def register(render: Callable[["ArtifactContext"], str]) -> Callable:
+        if key in _REGISTRY:
+            raise ValueError(f"artifact {key!r} registered twice")
+        if not description.strip():
+            raise ValueError(f"artifact {key!r} has an empty description")
+        for dep in dep_tuple:
+            get_dataset(dep)  # raises UnknownDatasetError on a bad name
+        if report_order is not None:
+            clash = next((a.key for a in _REGISTRY.values()
+                          if a.report_order == report_order), None)
+            if clash is not None:
+                raise ValueError(
+                    f"artifact {key!r} reuses report_order {report_order} "
+                    f"of {clash!r}")
+        _REGISTRY[key] = Artifact(
+            key=key, title=title or key, description=description,
+            deps=dep_tuple, render=render, report_order=report_order,
+            needs_earlier_era=needs_earlier_era, composite=composite)
+        return render
+
+    return register
+
+
+def get(key: str) -> Artifact:
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise UnknownArtifactError(key) from None
+
+
+def artifact_keys() -> Tuple[str, ...]:
+    """All registered keys, sorted (the CLI's ``choices`` list)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def artifacts() -> Tuple[Artifact, ...]:
+    """All registered artifacts, key-sorted."""
+    return tuple(_REGISTRY[key] for key in sorted(_REGISTRY))
+
+
+def report_sequence() -> Tuple[Artifact, ...]:
+    """The default report's sections in paper order.
+
+    This is the registry's topological walk: artifacts depend only on
+    datasets (never on each other), so the explicit ``report_order``
+    is a valid topological order of the artifact/dataset DAG; dataset
+    dependencies resolve lazily — and memoized — at render time.
+    """
+    ordered = [a for a in _REGISTRY.values() if a.report_order is not None]
+    ordered.sort(key=lambda a: a.report_order)
+    return tuple(ordered)
+
+
+def descriptions() -> Dict[str, str]:
+    """Key → one-line description (``--list-artifacts``)."""
+    return {key: _REGISTRY[key].description for key in sorted(_REGISTRY)}
+
+
+class ArtifactContext:
+    """Everything a render function may read: the result(s) + datasets.
+
+    One context shared across several renders is what makes the pipeline
+    cheaper than the hand-wired modules it replaced: the dataset cache
+    on the context is the unit of sharing.
+    """
+
+    def __init__(self, result: SimulationResult,
+                 earlier_era_result: Optional[SimulationResult] = None,
+                 datasets: Optional[Datasets] = None):
+        self.result = result
+        self.earlier_era_result = earlier_era_result
+        self.datasets = datasets if datasets is not None else Datasets(result)
+        self._allowed: List[Optional[FrozenSet[str]]] = []
+
+    def dataset(self, name: str):
+        """Resolve a dataset the *current artifact declared*."""
+        if self._allowed and self._allowed[-1] is not None \
+                and name not in self._allowed[-1]:
+            raise UndeclaredDatasetError(
+                f"artifact resolved dataset {name!r} outside its declared "
+                f"dependency subgraph {sorted(self._allowed[-1])}")
+        return self.datasets.get(name)
+
+
+def render_artifact(key: str, ctx: ArtifactContext) -> str:
+    """Render one artifact, restricted to its declared dataset subgraph."""
+    art = get(key)
+    allowed = None if art.composite else dataset_closure(art.deps)
+    ctx._allowed.append(allowed)
+    try:
+        with obs.trace("analysis.artifact", key=key):
+            obs.count(f"analysis.artifact.rendered.{key}")
+            return art.render(ctx)
+    finally:
+        ctx._allowed.pop()
+
+
+def render_artifacts(result: SimulationResult, keys: Iterable[str],
+                     earlier_era_result: Optional[SimulationResult] = None,
+                     ) -> Dict[str, str]:
+    """Render several artifacts off one shared dataset cache.
+
+    The convenience entry point for multi-world studies: feed each
+    :func:`repro.core.parallel.run_worlds` result through this in the
+    parent process.  Returns key → rendered text in the order given.
+    """
+    ctx = ArtifactContext(result, earlier_era_result)
+    return {key: render_artifact(key, ctx) for key in keys}
+
+
+def legacy_artifact_map() -> Dict[str, Callable[[SimulationResult], str]]:
+    """Key → ``render(result)`` callables (the pre-registry CLI shape).
+
+    Each callable builds a private context, so artifacts rendered this
+    way behave exactly like the old hand-wired modules — tests use the
+    map to check standalone and pipelined renders agree byte-for-byte.
+    """
+    def bind(key: str) -> Callable[[SimulationResult], str]:
+        return lambda result: render_artifact(key, ArtifactContext(result))
+
+    return {key: bind(key) for key in sorted(_REGISTRY)}

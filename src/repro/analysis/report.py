@@ -1,7 +1,12 @@
-"""The full study report: every table and figure from one (or two) runs.
+"""The full study report: a topological walk over the artifact registry.
 
-``full_report`` is what the quickstart example prints — a single text
-artifact walking the paper's structure with our measured numbers.
+``full_report`` no longer knows any figure or table by name — every
+section is pulled from :mod:`repro.analysis.registry` in declared
+``report_order``, rendered against one shared
+:class:`~repro.analysis.registry.ArtifactContext`, so every dataset the
+sections share (the Table 1 catalog, the hijacker login stream, the
+Forms HTTP logs, …) is extracted from the log store exactly once per
+result.
 """
 
 from __future__ import annotations
@@ -9,29 +14,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro import obs
-from repro.analysis import (
-    contacts,
-    defense,
-    exploitation,
-    figure1,
-    figure2,
-    figure3,
-    figure4,
-    figure5,
-    figure6,
-    figure7,
-    figure8,
-    figure9,
-    figure10,
-    figure11,
-    figure12,
-    retention,
-    revenue,
-    table1,
-    workweek,
-    table2,
-    table3,
-)
+from repro.analysis import registry
+from repro.analysis.registry import ArtifactContext, artifact, render_artifact
 from repro.core.metrics import SummaryMetrics
 from repro.core.simulation import SimulationResult
 
@@ -39,55 +23,44 @@ _SEPARATOR = "\n" + "=" * 72 + "\n"
 
 
 def full_report(result: SimulationResult,
-                earlier_era_result: Optional[SimulationResult] = None) -> str:
+                earlier_era_result: Optional[SimulationResult] = None, *,
+                ctx: Optional[ArtifactContext] = None) -> str:
     """Render everything the result supports.
 
     Sections whose dataset came out empty (e.g. no decoys in this
     scenario) render a short note instead of failing — exactly like a
     study section you lack data for.
     """
+    if ctx is None:
+        ctx = ArtifactContext(result, earlier_era_result)
     sections = [
         "REPRODUCTION REPORT — Handcrafted Fraud and Extortion (IMC 2014)",
         result.summary(),
         "\n".join(SummaryMetrics.from_result(result).lines()),
     ]
-
-    def add(title: str, thunk) -> None:
-        with obs.trace("report.section", section=title):
+    for art in registry.report_sequence():
+        if art.needs_earlier_era and earlier_era_result is None:
+            continue
+        with obs.trace("report.section", section=art.title):
             try:
-                sections.append(thunk())
+                sections.append(render_artifact(art.key, ctx))
                 obs.count("report.sections_rendered")
             except (ValueError, ZeroDivisionError, KeyError) as error:
                 obs.count("report.sections_empty")
-                sections.append(f"{title}: no data in this scenario ({error})")
-
-    add("Table 1", lambda: table1.render(table1.compute(result)))
-    add("Table 2", lambda: table2.render(table2.compute(result)))
-    add("Table 3", lambda: table3.render(table3.compute(result)))
-    add("Figure 1", lambda: figure1.render(figure1.compute(result)))
-    add("Figure 2", lambda: figure2.render(figure2.compute(result)))
-    add("Figure 3", lambda: figure3.render(figure3.compute(result)))
-    add("Figure 4", lambda: figure4.render(figure4.compute(result)))
-    add("Figure 5", lambda: figure5.render(figure5.compute(result)))
-    add("Figure 6", lambda: figure6.render(figure6.compute(result)))
-    add("Figure 7", lambda: figure7.render(figure7.compute(result)))
-    add("Figure 8", lambda: figure8.render(figure8.compute(result)))
-    add("Section 5.2", lambda: exploitation.render(exploitation.compute(result)))
-    add("Section 5.3", lambda: contacts.render(
-        contacts.hijack_day_deltas(result),
-        contacts.scam_phishing_split(result),
-        contacts.contact_lift(result),
-    ))
-    add("Section 5.4", lambda: retention.render(retention.compute(result)))
-    add("Section 5.5", lambda: workweek.render(workweek.compute(result)))
-    if earlier_era_result is not None:
-        add("Section 5.4 evolution", lambda: retention.render_evolution(
-            retention.evolution(earlier_era_result, result)))
-    add("Figure 9", lambda: figure9.render(figure9.compute(result)))
-    add("Figure 10", lambda: figure10.render(figure10.compute(result)))
-    add("Figure 11", lambda: figure11.render(figure11.compute(result)))
-    add("Figure 12", lambda: figure12.render(figure12.compute(result)))
-    add("Section 8", lambda: defense.render([defense.evaluate(result)]))
-    add("Scam economics", lambda: revenue.render(revenue.compute(result)))
-
+                sections.append(
+                    f"{art.title}: no data in this scenario ({error})")
     return _SEPARATOR.join(sections)
+
+
+@artifact("report",
+          description="full study report: every table and figure in paper "
+                      "order",
+          composite=True)
+def _report(ctx: ArtifactContext) -> str:
+    return full_report(ctx.result, ctx.earlier_era_result, ctx=ctx)
+
+
+@artifact("metrics",
+          description="headline summary metrics (14-dataset catalog scale)")
+def _metrics(ctx: ArtifactContext) -> str:
+    return "\n".join(SummaryMetrics.from_result(ctx.result).lines())

@@ -13,8 +13,9 @@ November 2012:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set
+from typing import Dict, Optional, Sequence, Set
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.datasets import DatasetCatalog
 from repro.core.simulation import SimulationResult
 from repro.logs.events import Actor, SettingsChangeEvent
@@ -35,8 +36,10 @@ class RetentionRates:
     two_factor_rate: float
 
 
-def compute(result: SimulationResult, sample: int = 575) -> RetentionRates:
-    accounts = DatasetCatalog(result).d7_hijacked_accounts(sample=sample)
+def compute(result: SimulationResult, sample: int = 575, *,
+            accounts: Optional[Sequence] = None) -> RetentionRates:
+    if accounts is None:
+        accounts = DatasetCatalog(result).d7_hijacked_accounts(sample=sample)
     wanted = {account.account_id for account in accounts}
     changes = result.store.query(
         SettingsChangeEvent, actor=Actor.MANUAL_HIJACKER,
@@ -131,3 +134,22 @@ def render_evolution(evo: RetentionEvolution) -> str:
         ],
         title="Section 5.4: retention-tactic evolution",
     )
+
+
+@artifact("section5.4", title="Section 5.4", report_order=140,
+          description="Section 5.4: account-retention tactic rates per era",
+          deps=("hijacked_accounts",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(
+        ctx.result, accounts=ctx.dataset("hijacked_accounts")))
+
+
+@artifact("evolution", title="Section 5.4 evolution", report_order=155,
+          description=("Section 5.4: retention-tactic evolution between "
+                       "eras (needs --artifact with an earlier-era run)"),
+          needs_earlier_era=True)
+def _registered_evolution(ctx: ArtifactContext) -> str:
+    if ctx.earlier_era_result is None:
+        return ("Section 5.4 evolution: needs an earlier-era run to "
+                "compare against (pass earlier_era_result)")
+    return render_evolution(evolution(ctx.earlier_era_result, ctx.result))

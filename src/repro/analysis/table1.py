@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.datasets import DatasetCatalog, DatasetSpec
 from repro.core.simulation import SimulationResult
 from repro.util.render import ascii_table
@@ -29,3 +30,10 @@ def render(specs: List[DatasetSpec]) -> str:
         ],
         title="Table 1: datasets used throughout this study",
     )
+
+
+@artifact("table1", title="Table 1", report_order=10,
+          description="Table 1: log datasets mined and their sizes",
+          deps=("dataset_specs",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(ctx.dataset("dataset_specs"))

@@ -11,9 +11,10 @@ looking at which login page it imitates).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.curation import review_phishing_target
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.datasets import DatasetCatalog
 from repro.core.simulation import SimulationResult
 from repro.logs.mapreduce import count_by
@@ -38,12 +39,17 @@ class Table2:
         ]
 
 
-def compute(result: SimulationResult, sample: int = 100) -> Table2:
-    catalog = DatasetCatalog(result)
-    emails = catalog.d1_phishing_emails(sample=sample)
+def compute(result: SimulationResult, sample: int = 100, *,
+            emails: Optional[Sequence] = None,
+            detections: Optional[Sequence] = None) -> Table2:
+    if emails is None or detections is None:
+        catalog = DatasetCatalog(result)
+        if emails is None:
+            emails = catalog.d1_phishing_emails(sample=sample)
+        if detections is None:
+            detections = catalog.d2_detected_pages(sample=sample)
     email_counts = count_by(emails, key_of=review_phishing_target)
 
-    detections = catalog.d2_detected_pages(sample=sample)
     pages_by_id = {page.page_id: page for page in result.pages}
     page_targets = [
         pages_by_id[detection.page_id].target.value
@@ -60,3 +66,13 @@ def render(table: Table2) -> str:
         table.rows(),
         title="Table 2: phishing targets (counts per sample)",
     )
+
+
+@artifact("table2", title="Table 2", report_order=20,
+          description="Table 2: phishing page targets by account type",
+          deps=("phishing_emails", "detected_pages"))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(
+        ctx.result,
+        emails=ctx.dataset("phishing_emails"),
+        detections=ctx.dataset("detected_pages")))

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.curation import hijacker_logins
+from repro.analysis.registry import ArtifactContext, artifact
 from repro.core.simulation import SimulationResult
 from repro.logs.events import LoginEvent
 from repro.util.clock import hour_of_day, weekday_of
@@ -68,7 +69,8 @@ class CrewWorkweek:
         return best_hour
 
 
-def compute(result: SimulationResult) -> List[CrewWorkweek]:
+def compute(result: SimulationResult, *,
+            logins: Optional[List[LoginEvent]] = None) -> List[CrewWorkweek]:
     """Per-crew activity fingerprints, crews resolved via incident ground
     truth (the paper had per-individual session attribution)."""
     account_to_crew: Dict[str, str] = {}
@@ -76,8 +78,10 @@ def compute(result: SimulationResult) -> List[CrewWorkweek]:
         if report.account_id is not None:
             account_to_crew.setdefault(report.account_id, report.crew_name)
 
+    if logins is None:
+        logins = hijacker_logins(result.store)
     logins_by_crew: Dict[str, List[LoginEvent]] = {}
-    for login in hijacker_logins(result.store):
+    for login in logins:
         crew = account_to_crew.get(login.account_id)
         if crew is not None:
             logins_by_crew.setdefault(crew, []).append(login)
@@ -126,3 +130,10 @@ def render(fingerprints: List[CrewWorkweek]) -> str:
         f"  overall weekend share: {overall_weekend_share(fingerprints):.0%}"
         " (paper: largely inactive over the weekends)")
     return "\n".join(lines)
+
+
+@artifact("section5.5", title="Section 5.5", report_order=150,
+          description="Section 5.5: hijacker workweek (activity by weekday)",
+          deps=("hijacker_logins",))
+def _registered(ctx: ArtifactContext) -> str:
+    return render(compute(ctx.result, logins=ctx.dataset("hijacker_logins")))

@@ -11,14 +11,27 @@ indicate that they were manually hijacked").
 Sample sizes default to the paper's but clamp to what the simulated
 world produced; the actual size is recorded on every dataset's spec so
 Table 1 can report both.
+
+Every builder is **memoized per (dataset, arguments)**: a catalog shared
+across several analyses builds each dataset once and replays the cached
+value (and its Table 1 spec) on later calls.  That is safe because every
+builder is a pure function of the result and its arguments — each draws
+from a fresh child-seeded RNG, so a cache hit returns byte-for-byte what
+a recomputation would.  Callers must treat returned datasets as
+read-only.  The noisy source pools that several builders narrow
+(spam/phishing reports, recovery claims, phishing-page HTTP logs) are
+shared single scans too — see :meth:`DatasetCatalog.mail_reports`,
+:meth:`DatasetCatalog.recovery_claims`, and
+:meth:`DatasetCatalog.http_requests`.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
+from repro import obs
 from repro.core.simulation import SimulationResult
 from repro.hijacker.incident import IncidentOutcome, IncidentReport
 from repro.logs.events import (
@@ -40,6 +53,8 @@ from repro.world.accounts import Account
 from repro.world.messages import EmailMessage
 from repro.world.users import ActivityLevel
 
+T = TypeVar("T")
+
 
 @dataclass(frozen=True)
 class DatasetSpec:
@@ -59,6 +74,7 @@ class DatasetCatalog:
     result: SimulationResult
     seed_salt: str = "datasets"
     specs: List[DatasetSpec] = field(default_factory=list)
+    _memo: Dict[Tuple, object] = field(default_factory=dict, repr=False)
 
     def _rng(self, name: str) -> random.Random:
         return random.Random(child_seed(
@@ -71,6 +87,51 @@ class DatasetCatalog:
                                       actual, section))
         self.specs.sort(key=lambda spec: spec.dataset_id)
 
+    def _memoized(self, name: str, args: Tuple, build: Callable[[], T],
+                  spec: Optional[Callable[[T], Tuple[int, str, int, int, str]]]
+                  = None) -> T:
+        """Build-once per (dataset, args); replay the Table 1 spec on hits.
+
+        The spec is re-recorded on every call (not just the first) so a
+        catalog shared across analyses reports the same Table 1 rows a
+        fresh catalog would, no matter which analysis ran first.
+        """
+        key = (name,) + args
+        if key in self._memo:
+            obs.count("datasets.catalog.hit")
+            value = self._memo[key]
+        else:
+            obs.count("datasets.catalog.miss")
+            with obs.trace("datasets.catalog.build", dataset=name):
+                value = build()
+            self._memo[key] = value
+        if spec is not None:
+            self._record(*spec(value))
+        return value  # type: ignore[return-value]
+
+    # -- shared source pools -------------------------------------------
+
+    def mail_reports(self) -> List[MailReportedEvent]:
+        """Every user spam/phishing report — the noisy pool behind D1
+        and D8, scanned once per catalog (the event family carries no
+        account/actor column, so the store cannot index it)."""
+        return self._memoized(
+            "pool:mail_reports", (),
+            lambda: self.result.store.query(MailReportedEvent))
+
+    def recovery_claims(self) -> List[RecoveryClaimEvent]:
+        """Every recovery claim — shared by D7, D12, and the recovery /
+        revenue analyses, scanned once per catalog."""
+        return self._memoized(
+            "pool:recovery_claims", (),
+            lambda: self.result.store.query(RecoveryClaimEvent))
+
+    def http_requests(self) -> List[HttpRequestEvent]:
+        """Every phishing-page HTTP request — D3's source, scanned once."""
+        return self._memoized(
+            "pool:http_requests", (),
+            lambda: self.result.store.query(HttpRequestEvent))
+
     # -- D1: curated phishing emails -------------------------------------------
 
     def d1_phishing_emails(self, sample: int = 100,
@@ -80,27 +141,31 @@ class DatasetCatalog:
         The pool is everything users reported; curation keeps messages
         that explicitly phish for credentials or link phishing pages.
         """
-        reports = self.result.store.query(MailReportedEvent)
-        rng = self._rng("d1")
-        # A *random* sample (shuffled even when the pool is small):
-        # iterating reports in log order would bias the curated 100
-        # toward whatever campaigns ran first.
-        pool = rng.sample(reports, min(pool_size, len(reports)))
-        curated: List[EmailMessage] = []
-        seen = set()
-        for report in pool:
-            message = self._resolve_reported_message(report)
-            if message is None or message.message_id in seen:
-                continue
-            seen.add(message.message_id)
-            body = " ".join((message.body,) + message.keywords)
-            category = classify_text(message.subject, body)
-            if category is MessageCategory.PHISHING:
-                curated.append(message)
-            if len(curated) >= sample:
-                break
-        self._record(1, "Phishing emails", sample, len(curated), "4.1")
-        return curated
+        def build() -> List[EmailMessage]:
+            reports = self.mail_reports()
+            rng = self._rng("d1")
+            # A *random* sample (shuffled even when the pool is small):
+            # iterating reports in log order would bias the curated 100
+            # toward whatever campaigns ran first.
+            pool = rng.sample(reports, min(pool_size, len(reports)))
+            curated: List[EmailMessage] = []
+            seen = set()
+            for report in pool:
+                message = self._resolve_reported_message(report)
+                if message is None or message.message_id in seen:
+                    continue
+                seen.add(message.message_id)
+                body = " ".join((message.body,) + message.keywords)
+                category = classify_text(message.subject, body)
+                if category is MessageCategory.PHISHING:
+                    curated.append(message)
+                if len(curated) >= sample:
+                    break
+            return curated
+
+        return self._memoized(
+            "d1", (sample, pool_size), build,
+            lambda curated: (1, "Phishing emails", sample, len(curated), "4.1"))
 
     def _resolve_reported_message(self,
                                   report: MailReportedEvent) -> Optional[EmailMessage]:
@@ -118,39 +183,48 @@ class DatasetCatalog:
     # -- D2: pages detected by SafeBrowsing -------------------------------------------
 
     def d2_detected_pages(self, sample: int = 100) -> List[Detection]:
-        detections = list(self.result.safebrowsing.detections)
-        rng = self._rng("d2")
-        chosen = detections if len(detections) <= sample else rng.sample(detections, sample)
-        self._record(2, "Phishing pages detected by SafeBrowsing",
-                     sample, len(chosen), "4.1")
-        return sorted(chosen, key=lambda d: d.detected_at)
+        def build() -> List[Detection]:
+            detections = list(self.result.safebrowsing.detections)
+            rng = self._rng("d2")
+            chosen = detections if len(detections) <= sample else rng.sample(detections, sample)
+            return sorted(chosen, key=lambda d: d.detected_at)
+
+        return self._memoized(
+            "d2", (sample,), build,
+            lambda chosen: (2, "Phishing pages detected by SafeBrowsing",
+                            sample, len(chosen), "4.1"))
 
     # -- D3: Forms taken down, with their HTTP logs -------------------------------------------
 
     def d3_forms_http_logs(self, sample: int = 100,
                            ) -> Dict[str, List[HttpRequestEvent]]:
-        forms = [d for d in self.result.safebrowsing.detections
-                 if d.hosting.value == "forms"]
-        rng = self._rng("d3")
-        chosen = forms if len(forms) <= sample else rng.sample(forms, sample)
-        events = self.result.store.query(HttpRequestEvent)
-        by_page: Dict[str, List[HttpRequestEvent]] = {
-            detection.page_id: [] for detection in chosen
-        }
-        for event in events:
-            if event.request.page_id in by_page:
-                by_page[event.request.page_id].append(event)
-        self._record(3, "Google Forms taken down for phishing",
-                     sample, len(by_page), "4.2")
-        return by_page
+        def build() -> Dict[str, List[HttpRequestEvent]]:
+            forms = [d for d in self.result.safebrowsing.detections
+                     if d.hosting.value == "forms"]
+            rng = self._rng("d3")
+            chosen = forms if len(forms) <= sample else rng.sample(forms, sample)
+            events = self.http_requests()
+            by_page: Dict[str, List[HttpRequestEvent]] = {
+                detection.page_id: [] for detection in chosen
+            }
+            for event in events:
+                if event.request.page_id in by_page:
+                    by_page[event.request.page_id].append(event)
+            return by_page
+
+        return self._memoized(
+            "d3", (sample,), build,
+            lambda by_page: (3, "Google Forms taken down for phishing",
+                             sample, len(by_page), "4.2"))
 
     # -- D4: decoy credentials -------------------------------------------
 
     def d4_decoys(self, sample: int = 200) -> List[DecoyRecord]:
-        records = list(self.result.decoys.records)
-        self._record(4, "Decoy credentials injected in phishing pages",
-                     sample, len(records), "5.1")
-        return records
+        return self._memoized(
+            "d4", (sample,),
+            lambda: list(self.result.decoys.records),
+            lambda records: (4, "Decoy credentials injected in phishing pages",
+                             sample, len(records), "5.1"))
 
     # -- D5: hijacker login IPs -------------------------------------------
 
@@ -162,48 +236,52 @@ class DatasetCatalog:
         actor ground truth selects hijacker logins, then the analysis
         sees only (ip → attempts).
         """
-        logins = self.result.store.query(
-            LoginEvent, actor=Actor.MANUAL_HIJACKER,
-            where=lambda e: e.ip is not None,
-        )
-        by_ip: Dict[str, List[LoginEvent]] = {}
-        for login in logins:
-            by_ip.setdefault(str(login.ip), []).append(login)
-        self._record(5, "Login attempts from IPs belonging to hijackers",
-                     sample_per_day, len(by_ip), "5.1")
-        return by_ip
+        def build() -> Dict[str, List[LoginEvent]]:
+            logins = self.result.store.query(
+                LoginEvent, actor=Actor.MANUAL_HIJACKER,
+                where=lambda e: e.ip is not None,
+            )
+            by_ip: Dict[str, List[LoginEvent]] = {}
+            for login in logins:
+                by_ip.setdefault(str(login.ip), []).append(login)
+            return by_ip
+
+        return self._memoized(
+            "d5", (sample_per_day, window_days), build,
+            lambda by_ip: (5, "Login attempts from IPs belonging to hijackers",
+                           sample_per_day, len(by_ip), "5.1"))
 
     # -- D6: hijacker search keywords -------------------------------------------
 
     def d6_hijacker_searches(self) -> List[SearchEvent]:
-        searches = self.result.store.query(
-            SearchEvent, actor=Actor.MANUAL_HIJACKER,
-        )
-        self._record(6, "Keywords searched by hijackers",
-                     len(searches), len(searches), "5.2")
-        return searches
+        return self._memoized(
+            "d6", (),
+            lambda: self.result.store.query(
+                SearchEvent, actor=Actor.MANUAL_HIJACKER),
+            lambda searches: (6, "Keywords searched by hijackers",
+                              len(searches), len(searches), "5.2"))
 
     # -- D7 / D10: high-confidence hijacked accounts -------------------------------------------
 
     def d7_hijacked_accounts(self, sample: int = 575) -> List[Account]:
         """Accounts whose recovery claims indicate manual hijacking."""
-        claimed = {
-            claim.account_id
-            for claim in self.result.store.query(RecoveryClaimEvent)
-        }
-        exploited = {
-            report.account_id
-            for report in self.result.incidents
-            if report.outcome is IncidentOutcome.EXPLOITED
-            and report.account_id is not None
-        }
-        candidates = sorted(claimed & exploited)
-        rng = self._rng("d7")
-        chosen = candidates if len(candidates) <= sample else rng.sample(candidates, sample)
-        accounts = [self.result.population.accounts[a] for a in sorted(chosen)]
-        self._record(7, "High-confidence hijacked accounts",
-                     sample, len(accounts), "5.2")
-        return accounts
+        def build() -> List[Account]:
+            claimed = {claim.account_id for claim in self.recovery_claims()}
+            exploited = {
+                report.account_id
+                for report in self.result.incidents
+                if report.outcome is IncidentOutcome.EXPLOITED
+                and report.account_id is not None
+            }
+            candidates = sorted(claimed & exploited)
+            rng = self._rng("d7")
+            chosen = candidates if len(candidates) <= sample else rng.sample(candidates, sample)
+            return [self.result.population.accounts[a] for a in sorted(chosen)]
+
+        return self._memoized(
+            "d7", (sample,), build,
+            lambda accounts: (7, "High-confidence hijacked accounts",
+                              sample, len(accounts), "5.2"))
 
     def incidents_for_accounts(self, accounts: Sequence[Account],
                                ) -> List[IncidentReport]:
@@ -226,32 +304,34 @@ class DatasetCatalog:
         tight window keeps the owner's unrelated mail (also occasionally
         reported) out of the sample, as the authors' review would have.
         """
-        from repro.analysis.curation import hijack_windows
+        def build() -> List[EmailMessage]:
+            from repro.analysis.curation import hijack_windows
 
-        hijacked = {account.account_id for account in self.d7_hijacked_accounts()}
-        windows = hijack_windows(self.result.store, sorted(hijacked))
-        reports = self.result.store.query(
-            MailReportedEvent,
-            where=lambda e: e.sender_account_id in hijacked,
-        )
-        rng = self._rng("d8")
-        messages: List[EmailMessage] = []
-        seen = set()
-        for report in reports:
-            message = self._resolve_reported_message(report)
-            if message is None or message.message_id in seen:
-                continue
-            window = windows.get(report.sender_account_id)
-            if window is None:
-                continue
-            if not window[0] <= message.sent_at <= window[1] + 2 * HOUR:
-                continue
-            seen.add(message.message_id)
-            messages.append(message)
-        chosen = messages if len(messages) <= sample else rng.sample(messages, sample)
-        self._record(8, "Mail sent from hijacked accounts reported as spam",
-                     sample, len(chosen), "5.3")
-        return chosen
+            hijacked = {account.account_id
+                        for account in self.d7_hijacked_accounts()}
+            windows = hijack_windows(self.result.store, sorted(hijacked))
+            reports = [report for report in self.mail_reports()
+                       if report.sender_account_id in hijacked]
+            rng = self._rng("d8")
+            messages: List[EmailMessage] = []
+            seen = set()
+            for report in reports:
+                message = self._resolve_reported_message(report)
+                if message is None or message.message_id in seen:
+                    continue
+                window = windows.get(report.sender_account_id)
+                if window is None:
+                    continue
+                if not window[0] <= message.sent_at <= window[1] + 2 * HOUR:
+                    continue
+                seen.add(message.message_id)
+                messages.append(message)
+            return messages if len(messages) <= sample else rng.sample(messages, sample)
+
+        return self._memoized(
+            "d8", (sample,), build,
+            lambda chosen: (8, "Mail sent from hijacked accounts reported as spam",
+                            sample, len(chosen), "5.3"))
 
     # -- D9: contact cohort vs random cohort -------------------------------------------
 
@@ -264,91 +344,112 @@ class DatasetCatalog:
         ``seed_window_days``; the follow-up window is everything after,
         mirroring the paper's 60-day observation.
         """
-        population = self.result.population
-        early_victims = {
-            report.account_id
-            for report in self.result.incidents
-            if report.outcome is IncidentOutcome.EXPLOITED
-            and report.account_id is not None
-            and report.pickup_at < seed_window_days * DAY
-        }
-        victim_users = {
-            population.accounts[a].owner.user_id for a in early_victims
-        }
-        contact_users = population.contact_graph.neighborhood(victim_users)
-        contact_accounts = [
-            population.account_of_user(user_id)
-            for user_id in sorted(contact_users)
-        ]
-        rng = self._rng("d9")
-        if len(contact_accounts) > cohort_size:
-            contact_accounts = rng.sample(contact_accounts, cohort_size)
+        def build() -> Tuple[List[Account], List[Account]]:
+            population = self.result.population
+            early_victims = {
+                report.account_id
+                for report in self.result.incidents
+                if report.outcome is IncidentOutcome.EXPLOITED
+                and report.account_id is not None
+                and report.pickup_at < seed_window_days * DAY
+            }
+            victim_users = {
+                population.accounts[a].owner.user_id for a in early_victims
+            }
+            contact_users = population.contact_graph.neighborhood(victim_users)
+            contact_accounts = [
+                population.account_of_user(user_id)
+                for user_id in sorted(contact_users)
+            ]
+            rng = self._rng("d9")
+            if len(contact_accounts) > cohort_size:
+                contact_accounts = rng.sample(contact_accounts, cohort_size)
 
-        active = [
-            account for account in population.accounts.values()
-            if account.owner.activity in (ActivityLevel.DAILY, ActivityLevel.WEEKLY)
-            and account.owner.user_id not in victim_users
-        ]
-        random_accounts = (
-            active if len(active) <= cohort_size
-            else rng.sample(active, cohort_size)
-        )
-        self._record(
-            9, "Hijacked account contacts and active-user random sample",
-            cohort_size, min(len(contact_accounts), len(random_accounts)), "5.3",
-        )
-        return contact_accounts, random_accounts
+            active = [
+                account for account in population.accounts.values()
+                if account.owner.activity in (ActivityLevel.DAILY, ActivityLevel.WEEKLY)
+                and account.owner.user_id not in victim_users
+            ]
+            random_accounts = (
+                active if len(active) <= cohort_size
+                else rng.sample(active, cohort_size)
+            )
+            return contact_accounts, random_accounts
+
+        return self._memoized(
+            "d9", (cohort_size, seed_window_days), build,
+            lambda cohorts: (
+                9, "Hijacked account contacts and active-user random sample",
+                cohort_size, min(len(cohorts[0]), len(cohorts[1])), "5.3"))
 
     # -- D11: recovered accounts -------------------------------------------
 
     def d11_recovered_accounts(self, sample: int = 5000) -> List[str]:
-        recovered = sorted(
-            case.account_id for case in self.result.remediation.recovered_cases()
-        )
-        rng = self._rng("d11")
-        chosen = recovered if len(recovered) <= sample else rng.sample(recovered, sample)
-        self._record(11, "Hijacked accounts successfully recovered",
-                     sample, len(chosen), "6.2")
-        return sorted(chosen)
+        def build() -> List[str]:
+            recovered = sorted(
+                case.account_id
+                for case in self.result.remediation.recovered_cases()
+            )
+            rng = self._rng("d11")
+            chosen = recovered if len(recovered) <= sample else rng.sample(recovered, sample)
+            return sorted(chosen)
+
+        return self._memoized(
+            "d11", (sample,), build,
+            lambda chosen: (11, "Hijacked accounts successfully recovered",
+                            sample, len(chosen), "6.2"))
 
     # -- D12: a window of recovery claims -------------------------------------------
 
     def d12_recovery_claims(self, window_days: int = 28,
                             ) -> List[RecoveryClaimEvent]:
-        horizon = self.result.horizon_minutes
-        since = max(0, horizon - window_days * DAY)
-        claims = self.result.store.query(RecoveryClaimEvent, since=since)
-        self._record(12, "Account recovery claims (one month)",
-                     len(claims), len(claims), "6.3")
-        return claims
+        def build() -> List[RecoveryClaimEvent]:
+            horizon = self.result.horizon_minutes
+            since = max(0, horizon - window_days * DAY)
+            # Tail of the shared (timestamp-sorted) claim pool — the
+            # same events a windowed store query would bisect out.
+            return [claim for claim in self.recovery_claims()
+                    if claim.timestamp >= since]
+
+        return self._memoized(
+            "d12", (window_days,), build,
+            lambda claims: (12, "Account recovery claims (one month)",
+                            len(claims), len(claims), "6.3"))
 
     # -- D13: hijack-case account ids for IP attribution -------------------------------------------
 
     def d13_hijack_cases(self, sample: int = 3000) -> List[str]:
-        cases = sorted({
-            report.account_id
-            for report in self.result.incidents
-            if report.outcome.gained_access and report.account_id is not None
-        })
-        rng = self._rng("d13")
-        chosen = cases if len(cases) <= sample else rng.sample(cases, sample)
-        self._record(13, "Hijacking cases for IP attribution",
-                     sample, len(chosen), "7")
-        return sorted(chosen)
+        def build() -> List[str]:
+            cases = sorted({
+                report.account_id
+                for report in self.result.incidents
+                if report.outcome.gained_access and report.account_id is not None
+            })
+            rng = self._rng("d13")
+            chosen = cases if len(cases) <= sample else rng.sample(cases, sample)
+            return sorted(chosen)
+
+        return self._memoized(
+            "d13", (sample,), build,
+            lambda chosen: (13, "Hijacking cases for IP attribution",
+                            sample, len(chosen), "7"))
 
     # -- D14: hijacker phone numbers -------------------------------------------
 
     def d14_hijacker_phones(self, sample: int = 300) -> List[PhoneNumber]:
-        changes = self.result.store.query(
-            SettingsChangeEvent, actor=Actor.MANUAL_HIJACKER,
-            where=lambda e: e.setting == "two_factor" and e.phone is not None,
-        )
-        phones = [change.phone for change in changes]
-        rng = self._rng("d14")
-        chosen = phones if len(phones) <= sample else rng.sample(phones, sample)
-        self._record(14, "Phone numbers used by hijackers",
-                     sample, len(chosen), "7")
-        return chosen
+        def build() -> List[PhoneNumber]:
+            changes = self.result.store.query(
+                SettingsChangeEvent, actor=Actor.MANUAL_HIJACKER,
+                where=lambda e: e.setting == "two_factor" and e.phone is not None,
+            )
+            phones = [change.phone for change in changes]
+            rng = self._rng("d14")
+            return phones if len(phones) <= sample else rng.sample(phones, sample)
+
+        return self._memoized(
+            "d14", (sample,), build,
+            lambda chosen: (14, "Phone numbers used by hijackers",
+                            sample, len(chosen), "7"))
 
     # -- Table 1 -------------------------------------------
 

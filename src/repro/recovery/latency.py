@@ -18,14 +18,22 @@ from repro.util.distributions import EmpiricalCdf
 
 
 def recovery_latencies(store: LogStore, since: int = 0,
-                       until: Optional[int] = None) -> List[int]:
+                       until: Optional[int] = None,
+                       *,
+                       claims: Optional[Sequence[RecoveryClaimEvent]] = None,
+                       flags: Optional[Sequence[HijackFlagEvent]] = None,
+                       ) -> List[int]:
     """Flag→claim-start latency (minutes) per recovered account.
 
     Uses the earliest hijack flag and the earliest claim per account,
     restricted to accounts with at least one *successful* claim — the
     paper's sample is 5,000 accounts "returned to the rightful owner".
+    ``claims``/``flags`` accept pre-extracted (timestamp-sorted) event
+    lists so the shared dataset layer can reuse its single scan; when
+    omitted, the store is queried directly.
     """
-    claims = store.query(RecoveryClaimEvent, since=since, until=until)
+    if claims is None:
+        claims = store.query(RecoveryClaimEvent, since=since, until=until)
     first_claim_at: Dict[str, int] = {}
     recovered: set = set()
     for claim in claims:
@@ -33,7 +41,8 @@ def recovery_latencies(store: LogStore, since: int = 0,
         if claim.succeeded:
             recovered.add(claim.account_id)
 
-    flags = store.query(HijackFlagEvent)
+    if flags is None:
+        flags = store.query(HijackFlagEvent)
     first_flag_at: Dict[str, int] = {}
     for flag in flags:
         first_flag_at.setdefault(flag.account_id, flag.timestamp)

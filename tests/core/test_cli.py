@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro import obs
+from repro.analysis import registry
 from repro.__main__ import (
     ARTIFACT_DESCRIPTIONS,
     ARTIFACTS,
@@ -28,6 +29,14 @@ class TestParser:
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--artifact", "figure99"])
+
+    def test_unknown_artifacts_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--artifacts", "figure5,figure99"])
+
+    def test_empty_artifacts_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--artifacts", " , "])
 
 
 class TestRegistries:
@@ -71,7 +80,18 @@ class TestExecution:
         out = capsys.readouterr().out
         for name in ARTIFACTS:
             assert name in out
-        assert "response-time CDF" in out  # figure8's description rode along
+        # Descriptions come straight from the registry, so they cannot
+        # drift from the modules they describe.
+        for description in registry.descriptions().values():
+            assert description in out
+
+    def test_artifacts_subgraph_selection(self, capsys):
+        assert main(["--scenario", "smoke", "--seed", "3",
+                     "--artifacts", "table3,figure5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Figure 5" in out
+        assert "REPRODUCTION REPORT" not in out  # only what was asked for
 
 
 class TestObservabilityFlags:
