@@ -15,8 +15,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, List, Set, Tuple
 
+from repro import obs
 from repro.defense.auth import AuthService
 from repro.logs.events import Actor
 from repro.mail.search import MailSearchService, random_owner_query
@@ -49,6 +50,11 @@ class OrganicActivityModel:
     allocator: IpAllocator
     #: (account_id, day) pairs already materialized.
     _done: Set[tuple] = field(default_factory=set)
+    #: Per-account merged [first, last] day intervals already fully
+    #: materialized — lets a repeated or overlapping window request skip
+    #: the per-day ``_done`` probes entirely.  Victims of repeat
+    #: incidents request near-identical windows over and over.
+    _covered: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
     _home_ips: Dict[str, IpAddress] = field(default_factory=dict)
 
     def materialize_window(self, account: Account, center_day: int,
@@ -57,13 +63,36 @@ class OrganicActivityModel:
 
         Returns the number of newly materialized account-days.
         """
-        created = 0
+        obs.count("organic.window.requests")
         first = max(0, center_day - back)
         last = min(horizon_days - 1, center_day + forward)
+        if last < first:
+            return 0
+        intervals = self._covered.setdefault(account.account_id, [])
+        if any(lo <= first and last <= hi for lo, hi in intervals):
+            obs.count("organic.window.covered_skip")
+            return 0
+        created = 0
         for day in range(first, last + 1):
             if self.materialize_day(account, day):
                 created += 1
+        self._note_covered(intervals, first, last)
         return created
+
+    @staticmethod
+    def _note_covered(intervals: List[Tuple[int, int]], first: int,
+                      last: int) -> None:
+        """Insert [first, last] and merge adjacent/overlapping intervals."""
+        merged: List[Tuple[int, int]] = []
+        for lo, hi in intervals:
+            if hi < first - 1 or lo > last + 1:
+                merged.append((lo, hi))
+            else:
+                first = min(first, lo)
+                last = max(last, hi)
+        merged.append((first, last))
+        merged.sort()
+        intervals[:] = merged
 
     def materialize_day(self, account: Account, day: int) -> bool:
         """Materialize one account-day (idempotent)."""

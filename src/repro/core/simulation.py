@@ -12,6 +12,7 @@ analyses run against.
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -19,6 +20,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro import obs
 from repro.core.config import SimulationConfig
 from repro.core.organic import OrganicActivityModel
+from repro.core.scheduler import EventKind, EventWheel, scheduler_enabled
 from repro.defense.abuse import AbuseResponse
 from repro.defense.auth import AuthService
 from repro.defense.behavioral import BehavioralRiskAnalyzer
@@ -233,9 +235,26 @@ class Simulation:
         self.pages: List[PhishingPage] = []
         self._decoys_injected = 0
         self._cases_opened: Set[str] = set()
-        self._watchlist: Set[str] = set()
+        #: Accounts a hijacker ever got into — the abuse sweep's probe
+        #: set.  Kept sorted on insert (with a companion membership set)
+        #: so the legacy sweep iterates it without re-sorting and the
+        #: scheduler can intersect dirty marks against membership.
+        self._watchlist: List[str] = []
+        self._watch_members: Set[str] = set()
         self._campaign_schedule = self._build_campaign_schedule()
         self._open_rng = self.rngs.stream("remediation.open")
+
+        #: Event-wheel state.  ``REPRO_SCHEDULER=0`` keeps the legacy
+        #: per-day rescan loop alive for differential testing; both
+        #: paths must produce bit-identical results.
+        self._use_scheduler = scheduler_enabled()
+        self._wheel: Optional[EventWheel] = None
+        self._current_day = 0
+        self._current_kind: Optional[EventKind] = None
+        self._dirty_abuse: Set[str] = set()
+        self._incident_days: Set[int] = set()
+        self._flush_days: Set[int] = set()
+        self._sweep_days: Set[int] = set()
 
     # -- construction ------------------------------------------------------
 
@@ -318,21 +337,10 @@ class Simulation:
             return self._run()
 
     def _run(self) -> SimulationResult:
-        for day in range(self.config.horizon_days):
-            day_end = (day + 1) * DAY
-            with obs.trace("simulation.day", day=day):
-                with obs.trace("simulation.phase.standalone_pages", day=day):
-                    self._create_standalone_pages(day)
-                with obs.trace("simulation.phase.campaign_launch", day=day):
-                    for crew, is_outlier in self._campaign_schedule.get(day, ()):
-                        self._launch_campaign(crew, day, is_outlier)
-                with obs.trace("simulation.phase.incident_execution", day=day):
-                    self._process_incidents_until(day_end)
-                with obs.trace("simulation.phase.mail_flush", day=day):
-                    self.mail.flush_reports(day_end)
-                with obs.trace("simulation.phase.abuse_sweep", day=day):
-                    self._abuse_sweep(day_end)
-            self.clock.advance_to(day_end)
+        if self._use_scheduler:
+            self._run_scheduled_days()
+        else:
+            self._run_legacy_days()
 
         botnet_report = None
         if self.config.include_automated_baseline:
@@ -376,6 +384,183 @@ class Simulation:
             targeted_reports=targeted_reports,
             targeted_depth_score=targeted_depth,
         )
+
+    def _run_legacy_days(self) -> None:
+        """The original per-day rescan loop (``REPRO_SCHEDULER=0``).
+
+        Every day unconditionally runs every phase, so a quiet day still
+        pays O(world state): full watchlist sweeps, pending-report
+        flushes, crew-queue polls.  Kept alive as the differential
+        oracle for the event wheel.
+        """
+        for day in range(self.config.horizon_days):
+            day_end = (day + 1) * DAY
+            with obs.trace("simulation.day", day=day):
+                with obs.trace("simulation.phase.standalone_pages", day=day):
+                    self._create_standalone_pages(day)
+                with obs.trace("simulation.phase.campaign_launch", day=day):
+                    for crew, is_outlier in self._campaign_schedule.get(day, ()):
+                        self._launch_campaign(crew, day, is_outlier)
+                with obs.trace("simulation.phase.incident_execution", day=day):
+                    self._process_incidents_until(day_end)
+                with obs.trace("simulation.phase.mail_flush", day=day):
+                    self.mail.flush_reports(day_end)
+                with obs.trace("simulation.phase.abuse_sweep", day=day):
+                    self._abuse_sweep(day_end)
+            self.clock.advance_to(day_end)
+
+    def _run_scheduled_days(self) -> None:
+        """Drain the event wheel: O(scheduled work), not O(world × days).
+
+        Equivalence contract with :meth:`_run_legacy_days` (bit-identical
+        results, same RNG stream consumption order):
+
+        * Campaign launches are enqueued up front from the same
+          pre-built schedule, in the same per-day order.
+        * Standalone-page creation draws from its private
+          ``phishing.standalone`` stream once per day, so it stays a
+          per-day event; when the weekly rate is zero the daily draw
+          reaches no other stream and creates nothing, so nothing is
+          scheduled at all.
+        * Credential pickups, report flushes, and abuse probes are
+          scheduled at the moment they become known — by the queue
+          submit, the mail-service hook, and the abuse/behavioral hooks
+          — for the day the legacy loop would have discovered them.
+        * Incident drains reuse :meth:`_process_incidents_until`, so the
+          legacy batch semantics (all-due pops, ``(pickup_at, crew,
+          address)`` sort, next-batch placement of newly submitted
+          credentials) are shared, not re-implemented.
+        * Abuse sweeps probe only *dirty* watched accounts.  This is
+          lossless because ``should_suspend`` is monotone between probes
+          (behavioral flags are sticky, report counts only grow) and
+          every input change marks the account dirty — including
+          post-recovery reactivation, which the legacy loop would catch
+          by brute-force rescan the next day.
+        """
+        horizon = self.config.horizon_days
+        wheel = self._wheel = EventWheel()
+        self.mail.on_report_scheduled = self._note_report_due
+        self.abuse.on_user_report = self._note_abuse_signal
+        self.behavioral.on_flag = self._note_abuse_signal
+
+        # Watch state seeded before run() (test/bench harnesses) is
+        # exactly what the legacy loop would probe on day 0.
+        self._dirty_abuse = set(self._watch_members)
+        if self._dirty_abuse:
+            self._schedule_sweep(0)
+        if self.config.standalone_pages_per_week > 0:
+            for day in range(horizon):
+                wheel.schedule(day, EventKind.STANDALONE_PAGES)
+        for day in range(horizon):
+            for crew, is_outlier in self._campaign_schedule.get(day, ()):
+                wheel.schedule(day, EventKind.CAMPAIGN_LAUNCH,
+                               (crew, is_outlier))
+
+        day_span = None
+        try:
+            while True:
+                entry = wheel.pop()
+                if entry is None:
+                    break
+                day, kind, payload = entry
+                if day_span is None or day != self._current_day:
+                    if day_span is not None:
+                        day_span.__exit__(None, None, None)
+                    self._current_day = day
+                    self.clock.advance_to(day * DAY)
+                    day_span = obs.trace("simulation.day", day=day)
+                    day_span.__enter__()
+                self._current_kind = kind
+                self._dispatch_event(day, kind, payload)
+        finally:
+            if day_span is not None:
+                day_span.__exit__(None, None, None)
+            self._current_kind = None
+            # The hooks hold bound methods; results must stay picklable
+            # for the parallel runner, so unhook before returning.
+            self.mail.on_report_scheduled = None
+            self.abuse.on_user_report = None
+            self.behavioral.on_flag = None
+        self.clock.advance_to(horizon * DAY)
+
+    def _dispatch_event(self, day: int, kind: EventKind, payload) -> None:
+        day_end = (day + 1) * DAY
+        if kind is EventKind.STANDALONE_PAGES:
+            with obs.trace("simulation.sched.standalone_pages", day=day):
+                self._create_standalone_pages(day)
+        elif kind is EventKind.CAMPAIGN_LAUNCH:
+            crew, is_outlier = payload
+            with obs.trace("simulation.sched.campaign_launch", day=day):
+                self._launch_campaign(crew, day, is_outlier)
+        elif kind is EventKind.INCIDENT_DRAIN:
+            with obs.trace("simulation.sched.incident_drain", day=day):
+                self._process_incidents_until(day_end)
+        elif kind is EventKind.MAIL_FLUSH:
+            with obs.trace("simulation.sched.mail_flush", day=day):
+                self.mail.flush_reports(day_end)
+        elif kind is EventKind.ABUSE_SWEEP:
+            with obs.trace("simulation.sched.abuse_sweep", day=day):
+                self._sweep_dirty(day_end)
+
+    # -- scheduling hooks --------------------------------------------------
+
+    def _note_pickup(self, pickup_at: Optional[int]) -> None:
+        """Schedule the incident drain for the day a pickup lands on.
+
+        The legacy loop drains queues up to ``(day+1)*DAY`` each day, so
+        a pickup due exactly at a day boundary belongs to the *earlier*
+        day — hence ``(t - 1) // DAY``.  A pickup in the past (possible
+        when a drain submits follow-on credentials with earlier capture
+        times) drains in the current day's batch, never retroactively.
+        """
+        if pickup_at is None or self._wheel is None:
+            return
+        day = max(self._current_day, (max(pickup_at, 1) - 1) // DAY)
+        if day >= self.config.horizon_days or day in self._incident_days:
+            return
+        self._incident_days.add(day)
+        self._wheel.schedule(day, EventKind.INCIDENT_DRAIN)
+
+    def _note_report_due(self, due_at: int) -> None:
+        """Mail-service hook: a user report was queued for ``due_at``."""
+        if self._wheel is None:
+            return
+        day = max(self._current_day, (max(due_at, 1) - 1) // DAY)
+        if day >= self.config.horizon_days or day in self._flush_days:
+            return
+        self._flush_days.add(day)
+        self._wheel.schedule(day, EventKind.MAIL_FLUSH)
+
+    def _note_abuse_signal(self, account_id: str) -> None:
+        """A suspension input changed: mark dirty, schedule a probe.
+
+        If the current day's sweep already ran (we are *in* or past the
+        ABUSE_SWEEP phase), the legacy loop would only re-probe
+        tomorrow, so the make-up sweep lands on ``day + 1``.
+        """
+        if self._wheel is None:
+            return
+        self._dirty_abuse.add(account_id)
+        day = self._current_day
+        if (self._current_kind is not None
+                and self._current_kind >= EventKind.ABUSE_SWEEP):
+            day += 1
+        self._schedule_sweep(day)
+
+    def _schedule_sweep(self, day: int) -> None:
+        if day >= self.config.horizon_days or day in self._sweep_days:
+            return
+        self._sweep_days.add(day)
+        self._wheel.schedule(day, EventKind.ABUSE_SWEEP)
+
+    def _watch(self, account_id: str) -> None:
+        """Add an account to the sorted abuse watchlist (idempotent)."""
+        if account_id in self._watch_members:
+            return
+        self._watch_members.add(account_id)
+        bisect.insort(self._watchlist, account_id)
+        if self._wheel is not None:
+            self._note_abuse_signal(account_id)
 
     # -- campaigns ---------------------------------------------------------
 
@@ -498,7 +683,10 @@ class Simulation:
         self._decoys_injected += 1
         crew_state = self._crew_by_name[page.operator]
         decoy_credential = page.harvested[-1]
-        crew_state.queue.submit(decoy_credential)
+        pickup_at = crew_state.queue.submit(decoy_credential)
+        # Decoys skip the remission/organic side effects of
+        # _submit_credential, but their pickup still needs a drain.
+        self._note_pickup(pickup_at)
         # Decoy honey accounts never file recovery claims.
         self._cases_opened.add(record.account_id)
 
@@ -511,6 +699,7 @@ class Simulation:
             return  # external victim: exploited outside our provider
         obs.count("simulation.credentials_submitted")
         pickup_at = state.queue.submit(credential)
+        self._note_pickup(pickup_at)
         self.remission.snapshot(account, credential.captured_at)
         if pickup_at is not None:
             self.organic.materialize_window(
@@ -562,7 +751,7 @@ class Simulation:
                 account, "suspicious_login_blocked", report.first_attempt_at,
             )
         if report.outcome.gained_access:
-            self._watchlist.add(account.account_id)
+            self._watch(account.account_id)
             self._open_remediation(account, report)
 
     # -- remediation ---------------------------------------------------------
@@ -594,6 +783,10 @@ class Simulation:
         case = self.remediation.open_case(account, flagged_at, notified)
         if case is not None:
             self.remediation.run_case(case, account)
+            if self._wheel is not None and account.state.can_login():
+                # Recovered while possibly still flag-eligible: the
+                # legacy loop re-probes it at the next daily sweep.
+                self._note_abuse_signal(account.account_id)
 
     def _was_notified(self, account_id: str, start: int, end: int) -> bool:
         events = self.store.query(
@@ -602,21 +795,55 @@ class Simulation:
         return bool(events)
 
     def _abuse_sweep(self, now: int) -> None:
+        """Legacy full sweep: probe every watched account, every day."""
         accounts = [
             self.population.accounts[account_id]
-            for account_id in sorted(self._watchlist)
+            for account_id in self._watchlist  # sorted on insert
         ]
         before = set(self.abuse.suspended_accounts)
         self.abuse.sweep(accounts, now)
         for account_id in self.abuse.suspended_accounts:
             if account_id in before or account_id in self._cases_opened:
                 continue
-            account = self.population.accounts[account_id]
-            self._cases_opened.add(account_id)
-            flagged_at = self.remediation.flag_if_unflagged(account, now)
-            case = self.remediation.open_case(account, flagged_at, True)
-            if case is not None:
-                self.remediation.run_case(case, account)
+            self._open_sweep_case(account_id, now)
+
+    def _sweep_dirty(self, now: int) -> None:
+        """Scheduler-mode sweep: probe only dirty watched accounts.
+
+        Newly suspended accounts are exactly the tail of
+        ``suspended_accounts`` appended by this sweep — equivalent to
+        the legacy before/after set difference, because a re-suspended
+        account (recovered earlier, suspended again) necessarily went
+        through a case already and is filtered by ``_cases_opened``
+        on both paths.
+        """
+        dirty, self._dirty_abuse = self._dirty_abuse, set()
+        batch = sorted(
+            account_id for account_id in dirty
+            if account_id in self._watch_members
+        )
+        obs.count("simulation.sched.dirty_accounts", len(batch))
+        if not batch:
+            return
+        accounts = [self.population.accounts[account_id]
+                    for account_id in batch]
+        n_before = len(self.abuse.suspended_accounts)
+        self.abuse.sweep(accounts, now)
+        for account_id in self.abuse.suspended_accounts[n_before:]:
+            if account_id in self._cases_opened:
+                continue
+            self._open_sweep_case(account_id, now)
+
+    def _open_sweep_case(self, account_id: str, now: int) -> None:
+        """A sweep suspension always reaches the owner: open the case."""
+        account = self.population.accounts[account_id]
+        self._cases_opened.add(account_id)
+        flagged_at = self.remediation.flag_if_unflagged(account, now)
+        case = self.remediation.open_case(account, flagged_at, True)
+        if case is not None:
+            self.remediation.run_case(case, account)
+            if self._wheel is not None and account.state.can_login():
+                self._note_abuse_signal(account_id)
 
     # -- baselines ---------------------------------------------------------
 

@@ -8,9 +8,11 @@ deltas are computed from.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.logs.events import Actor, MailReportedEvent, MailSentEvent
 from repro.logs.store import LogStore
 from repro.mail.reports import UserReportModel
@@ -55,9 +57,15 @@ class MailService:
     behavioral: Optional[object] = None
     #: Abuse-response hook fed by flushed user reports.
     abuse: Optional[object] = None
-    #: (due_at, event) pairs for reports that haven't "happened" yet; the
-    #: simulation drains these as the clock advances.
-    pending_reports: List[Tuple[int, MailReportedEvent]] = field(default_factory=list)
+    #: Min-heap of ``(due_at, seq, event)`` for reports that haven't
+    #: "happened" yet; ``seq`` breaks due-time ties in insertion order
+    #: (the same order the old stable sort produced).  ``flush_reports``
+    #: pops only what is due instead of rebuilding the whole list.
+    pending_reports: List[Tuple[int, int, MailReportedEvent]] = field(default_factory=list)
+    _report_seq: int = 0
+    #: Scheduler hook: called with ``due_at`` whenever a report is
+    #: queued, so the event wheel can plan the flush for that day.
+    on_report_scheduled: Optional[Callable[[int], None]] = None
 
     def send(self, sender_account, recipients: Sequence[EmailAddress], subject: str,
              now: int, kind: MessageKind = MessageKind.ORGANIC,
@@ -145,21 +153,38 @@ class MailService:
         landed_in_inbox = verdict is SpamVerdict.INBOX
         if self.report_model.maybe_report(copy, landed_in_inbox, sender_is_contact):
             due_at = now + self.report_model.report_delay_minutes()
-            self.pending_reports.append((due_at, MailReportedEvent(
+            self.pending_reports_push(due_at, MailReportedEvent(
                 timestamp=due_at,
                 reporter_account_id=recipient_account.account_id,
                 message_id=message.message_id,
                 sender_account_id=sender_account.account_id,
                 reported_as=self.report_model.report_label(copy),
-            )))
+            ))
             result.reports_scheduled += 1
 
+    def pending_reports_push(self, due_at: int,
+                             event: MailReportedEvent) -> None:
+        """Queue one future report and tell the scheduler about its day."""
+        heapq.heappush(self.pending_reports, (due_at, self._report_seq, event))
+        self._report_seq += 1
+        if self.on_report_scheduled is not None:
+            self.on_report_scheduled(due_at)
+
     def flush_reports(self, now: int) -> int:
-        """Move due reports into the log store; returns how many landed."""
-        due = [(at, event) for at, event in self.pending_reports if at <= now]
-        self.pending_reports = [(at, e) for at, e in self.pending_reports if at > now]
-        for _, event in sorted(due, key=lambda pair: pair[0]):
+        """Move due reports into the log store; returns how many landed.
+
+        Pops the heap only while the head is due — O(due · log n), never
+        a full scan of the pending list — in ``(due_at, insertion)``
+        order, matching the old stable sort byte for byte.
+        """
+        obs.count("mail.flush.calls")
+        flushed = 0
+        pending = self.pending_reports
+        while pending and pending[0][0] <= now:
+            _, _, event = heapq.heappop(pending)
+            obs.count("mail.flush.scanned")
             self.store.append(event)
             if self.abuse is not None:
                 self.abuse.note_user_report(event.sender_account_id)
-        return len(due)
+            flushed += 1
+        return flushed

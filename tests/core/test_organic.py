@@ -53,6 +53,39 @@ class TestMaterialization:
                                            forward=2, horizon_days=3)
         assert created == 3  # days 0..2 only
 
+    def test_covered_window_skips_per_day_probes(self, setup):
+        """A window inside an already-materialized span short-circuits.
+
+        Repeat victims request near-identical windows; the interval
+        cache answers those without the O(window) per-day set lookups.
+        """
+        from repro import obs
+        harness, model = setup
+        account = pick_account(harness)
+        model.materialize_window(account, center_day=5, back=3, forward=3,
+                                 horizon_days=30)
+        count_before = len(harness.store)
+        with obs.recording() as recorder:
+            created = model.materialize_window(
+                account, center_day=5, back=2, forward=2, horizon_days=30)
+        obs.disable()
+        assert created == 0
+        assert len(harness.store) == count_before
+        assert recorder.counters["organic.window.covered_skip"] == 1
+
+    def test_adjacent_windows_merge_coverage(self, setup):
+        harness, model = setup
+        account = pick_account(harness)
+        model.materialize_window(account, center_day=2, back=2, forward=2,
+                                 horizon_days=30)
+        model.materialize_window(account, center_day=7, back=2, forward=2,
+                                 horizon_days=30)
+        # [0,4] and [5,9] are adjacent: they merge into one span, so a
+        # window straddling both is fully covered.
+        assert model._covered[account.account_id] == [(0, 9)]
+        assert model.materialize_window(account, center_day=5, back=4,
+                                        forward=4, horizon_days=30) == 0
+
     def test_deterministic_per_account_day(self):
         def run():
             harness = build_harness(seed=83, n_users=60)

@@ -1,5 +1,6 @@
 import pytest
 
+from repro import obs
 from repro.logs.events import Actor, MailReportedEvent, MailSentEvent
 from repro.logs.store import LogStore
 from repro.mail.reports import UserReportModel
@@ -144,3 +145,45 @@ class TestReports:
         pending_before = len(service.pending_reports)
         service.flush_reports(now=0)
         assert len(service.pending_reports) == pending_before
+
+    def test_flush_touches_only_due_entries(self, world):
+        """One heap pop per flushed report — never a full-list scan.
+
+        The old implementation rebuilt ``pending_reports`` twice per
+        flush; the ``mail.flush.scanned`` counter proves the heap only
+        touches what is actually due, however large the backlog is.
+        """
+        population, _store, service = world
+        _, recipient = two_accounts(population)
+        for index in range(50):
+            service.pending_reports_push(100 + index * 10, MailReportedEvent(
+                timestamp=100 + index * 10,
+                reporter_account_id=recipient.account_id,
+                message_id=f"msg-{index}", sender_account_id=f"acct-{index}",
+                reported_as="phishing",
+            ))
+        backlog = len(service.pending_reports)
+        with obs.recording() as recorder:
+            flushed = service.flush_reports(now=110)
+        assert flushed == 2
+        assert recorder.counters["mail.flush.scanned"] == flushed
+        assert recorder.counters["mail.flush.scanned"] < backlog
+        obs.disable()
+
+    def test_flush_orders_ties_by_insertion(self, world):
+        """Equal due times flush in insertion order (the old stable sort)."""
+        population, store, service = world
+        _, recipient = two_accounts(population)
+        events = [
+            MailReportedEvent(
+                timestamp=500, reporter_account_id=recipient.account_id,
+                message_id=f"msg-{index}", sender_account_id=f"acct-{index}",
+                reported_as="phishing",
+            )
+            for index in range(5)
+        ]
+        for event in events:
+            service.pending_reports_push(500, event)
+        service.flush_reports(now=500)
+        flushed = store.query(MailReportedEvent)
+        assert [e.message_id for e in flushed] == [e.message_id for e in events]
